@@ -1,0 +1,136 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "pmlp/core/flow.hpp"
+
+namespace pmlp::bench {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+namespace {
+
+datasets::SyntheticSpec spec_for(const std::string& name) {
+  for (const auto& s : datasets::paper_suite()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+/// Library flow config honoring the bench environment knobs.
+core::FlowConfig flow_config(std::uint64_t seed) {
+  core::FlowConfig cfg;
+  cfg.split_seed = 1;
+  cfg.backprop.epochs = env_int("PMLP_EPOCHS", 150);
+  cfg.backprop.seed = 1234;
+  cfg.trainer.ga.population = env_int("PMLP_POP", 120);
+  cfg.trainer.ga.generations = env_int("PMLP_GENS", 600);
+  cfg.trainer.ga.n_threads = env_int("PMLP_THREADS", 4);
+  cfg.trainer.ga.seed = seed;
+  cfg.refine = env_int("PMLP_REFINE", 1) != 0;
+  cfg.hardware.equivalence_samples = 16;
+  return cfg;
+}
+
+}  // namespace
+
+Prepared prepare(const std::string& dataset_name) {
+  Prepared p;
+  p.paper = mlp::paper_row(dataset_name);
+
+  const auto data = datasets::generate(spec_for(dataset_name));
+  auto artifacts =
+      core::build_baseline(data, p.paper.topology, flow_config(1));
+  p.train_raw = std::move(artifacts.train_raw);
+  p.test_raw = std::move(artifacts.test_raw);
+  p.train = std::move(artifacts.train);
+  p.test = std::move(artifacts.test);
+  p.float_net = std::move(artifacts.float_net);
+  p.baseline = std::move(artifacts.baseline);
+  p.baseline_cost = artifacts.baseline_cost;
+  p.baseline_test_accuracy = artifacts.baseline_test_accuracy;
+  return p;
+}
+
+std::vector<Prepared> prepare_suite() {
+  std::vector<Prepared> out;
+  for (const auto& row : mlp::paper_table1()) {
+    out.push_back(prepare(row.dataset));
+  }
+  return out;
+}
+
+core::TrainerConfig default_trainer_config(std::uint64_t seed) {
+  return flow_config(seed).trainer;
+}
+
+OursOutcome run_ours(const Prepared& p, std::uint64_t seed) {
+  const auto cfg = flow_config(seed);
+
+  OursOutcome out;
+  out.training =
+      core::train_ga_axc(p.paper.topology, p.train, p.baseline, cfg.trainer);
+
+  // Greedy post-GA refinement (PMLP_REFINE=0 disables): compensates for
+  // the benchmark's ~1000x smaller GA budget versus the paper's 26M
+  // evaluations by squeezing mask bits the GA did not get to explore.
+  if (cfg.refine) {
+    const double base_train_acc = mlp::accuracy(p.baseline, p.train);
+    for (auto& point : out.training.estimated_pareto) {
+      core::RefineConfig rcfg;
+      rcfg.accuracy_floor =
+          std::max(point.train_accuracy - cfg.refine_max_point_loss,
+                   base_train_acc - cfg.trainer.problem.max_accuracy_loss);
+      (void)core::refine_greedy(point.model, p.train, rcfg);
+      point.train_accuracy = core::accuracy(point.model, p.train);
+      point.fa_area = point.model.fa_area();
+    }
+  }
+
+  out.evaluated = core::evaluate_hardware(out.training.estimated_pareto,
+                                          p.test,
+                                          hwmodel::CellLibrary::egfet_1v(),
+                                          cfg.hardware);
+  const auto best = core::best_within_loss(
+      out.evaluated, p.baseline_test_accuracy, cfg.report_max_loss);
+  if (best) {
+    out.best = *best;
+  } else {
+    // Fall back to the most accurate evaluated design (small GA budgets on
+    // the hard wine datasets may miss the 5% bound by a hair).
+    double best_acc = -1.0;
+    for (const auto& e : out.evaluated) {
+      if (e.test_accuracy > best_acc) {
+        best_acc = e.test_accuracy;
+        out.best = e;
+      }
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, int width, int precision) {
+  std::ostringstream os;
+  os << std::setw(width) << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt(const std::string& s, int width) {
+  std::ostringstream os;
+  if (width < 0) {
+    os << std::left << std::setw(-width) << s;
+  } else {
+    os << std::setw(width) << s;
+  }
+  return os.str();
+}
+
+}  // namespace pmlp::bench

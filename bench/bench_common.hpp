@@ -1,0 +1,65 @@
+// Shared harness for the per-table/figure bench binaries: prepares the five
+// paper datasets (synthetic stand-ins), trains + quantizes the exact bespoke
+// baseline [2], prices it on the EGFET library, and runs the GA-AxC flow.
+//
+// Scale knobs (environment):
+//   PMLP_POP   NSGA-II population          (default 60)
+//   PMLP_GENS  NSGA-II generations         (default 30)
+//   PMLP_EPOCHS backprop epochs            (default 150)
+//   PMLP_THREADS parallel GA evaluation    (default 4)
+//   PMLP_SC_SAMPLES stochastic-sim samples (default 200)
+// The paper's full-scale runs used ~26M evaluations; these defaults keep a
+// laptop run in minutes while preserving every trend (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pmlp/core/hardware_analysis.hpp"
+#include "pmlp/core/trainer.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/hwmodel/cells.hpp"
+#include "pmlp/mlp/backprop.hpp"
+#include "pmlp/mlp/quant_mlp.hpp"
+#include "pmlp/mlp/topology.hpp"
+
+namespace pmlp::bench {
+
+int env_int(const char* name, int fallback);
+
+/// Everything the benches need about one paper dataset.
+struct Prepared {
+  mlp::PaperBaselineRow paper;      ///< published Table I row
+  datasets::Dataset train_raw;      ///< float features (normalized)
+  datasets::Dataset test_raw;
+  datasets::QuantizedDataset train; ///< 4-bit codes
+  datasets::QuantizedDataset test;
+  mlp::FloatMlp float_net;          ///< gradient-trained reference
+  mlp::QuantMlp baseline;           ///< exact bespoke baseline [2]
+  hwmodel::CircuitCost baseline_cost;  ///< baseline netlist at 1 V
+  double baseline_test_accuracy = 0.0;
+};
+
+/// Prepare one dataset by Table I name ("BreastCancer", ...).
+Prepared prepare(const std::string& dataset_name);
+
+/// All five, Table I order.
+std::vector<Prepared> prepare_suite();
+
+/// Trainer defaults honoring the env knobs.
+core::TrainerConfig default_trainer_config(std::uint64_t seed = 1);
+
+/// GA-AxC + hardware sign-off; returns the Table II pick (min area within
+/// 5% test-accuracy loss; falls back to the most accurate evaluated design).
+struct OursOutcome {
+  core::TrainingResult training;
+  std::vector<core::HwEvaluatedPoint> evaluated;
+  core::HwEvaluatedPoint best;
+};
+OursOutcome run_ours(const Prepared& p, std::uint64_t seed = 1);
+
+/// Fixed-width table cell helpers.
+std::string fmt(double v, int width, int precision);
+std::string fmt(const std::string& s, int width);
+
+}  // namespace pmlp::bench

@@ -1,0 +1,85 @@
+// google-benchmark micro suite for the hot kernels of the framework:
+// FA-count area estimation (the GA's inner loop), Eq. 4 inference,
+// chromosome decode, netlist build/simulate, and NSGA-II generations.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+#include "pmlp/core/chromosome.hpp"
+#include "pmlp/netlist/builders.hpp"
+
+namespace {
+
+using namespace pmlp;
+
+core::ApproxMlp make_model(std::uint64_t seed) {
+  const mlp::Topology topo{{16, 5, 10}};  // Pendigits-sized
+  core::ChromosomeCodec codec(topo, core::BitConfig{});
+  std::mt19937_64 rng(seed);
+  std::vector<int> genes(static_cast<std::size_t>(codec.n_genes()));
+  for (int g = 0; g < codec.n_genes(); ++g) {
+    const auto b = codec.bounds(g);
+    genes[static_cast<std::size_t>(g)] =
+        b.lo + static_cast<int>(rng() % static_cast<unsigned>(b.hi - b.lo + 1));
+  }
+  return codec.decode(genes);
+}
+
+void BM_FaAreaEstimate(benchmark::State& state) {
+  const auto model = make_model(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.fa_area());
+  }
+}
+BENCHMARK(BM_FaAreaEstimate);
+
+void BM_Eq4Inference(benchmark::State& state) {
+  const auto model = make_model(2);
+  std::vector<std::uint8_t> x(16, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x));
+  }
+}
+BENCHMARK(BM_Eq4Inference);
+
+void BM_ChromosomeDecode(benchmark::State& state) {
+  const mlp::Topology topo{{16, 5, 10}};
+  core::ChromosomeCodec codec(topo, core::BitConfig{});
+  const auto genes = codec.encode(make_model(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(genes));
+  }
+}
+BENCHMARK(BM_ChromosomeDecode);
+
+void BM_NetlistBuild(benchmark::State& state) {
+  const auto model = make_model(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netlist::build_bespoke_mlp(model.to_bespoke_desc("m")));
+  }
+}
+BENCHMARK(BM_NetlistBuild);
+
+void BM_NetlistSimulate(benchmark::State& state) {
+  const auto model = make_model(5);
+  const auto circuit = netlist::build_bespoke_mlp(model.to_bespoke_desc("m"));
+  std::vector<std::uint8_t> x(16, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.predict(x));
+  }
+}
+BENCHMARK(BM_NetlistSimulate);
+
+void BM_AdderReduction(benchmark::State& state) {
+  std::vector<int> heights(static_cast<std::size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adder::reduce_columns(heights));
+  }
+}
+BENCHMARK(BM_AdderReduction)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Verilog-export scenario: run the full flow on a chosen dataset and emit
+// the hand-off artifacts a hardware team would take to a real printed-EDA
+// flow — the trained model file, the optimized DUT netlist, and a
+// self-checking testbench with recorded stimulus/expected classes.
+//
+// Usage: verilog_export [dataset=BreastCancer] [outdir=.]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "pmlp/core/flow.hpp"
+#include "pmlp/core/serialize.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/mlp/topology.hpp"
+#include "pmlp/netlist/opt.hpp"
+#include "pmlp/netlist/testbench.hpp"
+#include "pmlp/netlist/verilog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmlp;
+  const std::string name = argc > 1 ? argv[1] : "BreastCancer";
+  const std::filesystem::path outdir = argc > 2 ? argv[2] : ".";
+
+  datasets::SyntheticSpec spec;
+  bool found = false;
+  for (const auto& s : datasets::paper_suite()) {
+    if (s.name == name) {
+      spec = s;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown dataset " << name << "\n";
+    return 2;
+  }
+
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 120;
+  cfg.trainer.ga.population = 80;
+  cfg.trainer.ga.generations = 200;
+  const auto& row = mlp::paper_row(name);
+  std::cerr << "running flow on " << name << " " << row.topology.to_string()
+            << "...\n";
+  const auto result =
+      core::run_flow(datasets::generate(spec), row.topology, cfg);
+  // Prefer the Table II pick; fall back to the most accurate verified
+  // design so the export always produces artifacts.
+  core::HwEvaluatedPoint chosen;
+  if (result.best) {
+    chosen = *result.best;
+    std::cerr << "picked design (within 5% loss): ";
+  } else {
+    double best_acc = -1.0;
+    for (const auto& e : result.evaluated) {
+      if (e.test_accuracy > best_acc) {
+        best_acc = e.test_accuracy;
+        chosen = e;
+      }
+    }
+    std::cerr << "no design met the 5% bound; exporting most accurate: ";
+  }
+  std::cerr << "acc " << chosen.test_accuracy << ", area "
+            << chosen.cost.area_cm2() << " cm2 ("
+            << result.baseline.baseline_cost.area_mm2 / chosen.cost.area_mm2
+            << "x)\n";
+
+  // 1. Model file (reloadable with core::load_model_file).
+  const auto model_path = outdir / (name + ".model");
+  core::save_model_file(chosen.model, model_path.string());
+
+  // 2. Optimized DUT netlist as Verilog.
+  auto circuit =
+      netlist::build_bespoke_mlp(chosen.model.to_bespoke_desc(name));
+  netlist::OptStats stats;
+  circuit.nl = netlist::optimize(circuit.nl, &stats);
+  std::cerr << "optimize: removed " << stats.total_removed() << " cells, "
+            << stats.gates_remaining << " remain\n";
+
+  // Rebuild I/O metadata is unchanged by optimize (names preserved), but
+  // bus net ids moved; re-emit from a fresh unoptimized build for the
+  // testbench's golden predictions and keep the optimized netlist as DUT.
+  const auto golden =
+      netlist::build_bespoke_mlp(chosen.model.to_bespoke_desc(name));
+
+  const auto dut_path = outdir / (name + ".v");
+  {
+    std::ofstream os(dut_path);
+    netlist::emit_verilog(circuit.nl, name, os);
+  }
+
+  // 3. Self-checking testbench over the first test samples.
+  const auto& test = result.baseline.test;
+  std::vector<std::uint8_t> codes;
+  const std::size_t n_vec = std::min<std::size_t>(test.size(), 64);
+  for (std::size_t i = 0; i < n_vec; ++i) {
+    const auto row_codes = test.row(i);
+    codes.insert(codes.end(), row_codes.begin(), row_codes.end());
+  }
+  netlist::TestbenchOptions tb;
+  tb.dut_name = name;
+  const auto tb_path = outdir / (name + "_tb.v");
+  {
+    std::ofstream os(tb_path);
+    netlist::emit_testbench(golden, test.n_features, codes, tb, os);
+  }
+
+  std::cout << "wrote " << model_path << ", " << dut_path << " ("
+            << circuit.nl.gates().size() << " cells), " << tb_path << " ("
+            << n_vec << " vectors)\n";
+  return 0;
+}

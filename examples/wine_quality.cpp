@@ -1,0 +1,76 @@
+// Wine-quality scenario: the paper's hardest datasets (RedWine/WhiteWine,
+// 6-7 heavily overlapping classes). This example contrasts three routes to
+// a printed classifier on RedWine:
+//   (a) the exact bespoke baseline [2],
+//   (b) post-training approximation (TC'23 [5]),
+//   (c) our in-training GA-AxC approximation,
+// showing why embedding the approximations in training wins (paper Fig. 4:
+// 470x area reduction on RedWine vs 5% loss).
+#include <iostream>
+
+#include "pmlp/baselines/tc23.hpp"
+#include "pmlp/core/hardware_analysis.hpp"
+#include "pmlp/core/trainer.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/mlp/backprop.hpp"
+#include "pmlp/netlist/builders.hpp"
+#include "pmlp/netlist/from_quant.hpp"
+
+int main() {
+  using namespace pmlp;
+
+  const auto raw = datasets::generate(datasets::red_wine_spec());
+  const auto split = datasets::stratified_split(raw, 0.7, 3);
+  const auto train = datasets::quantize_inputs(split.train, 4);
+  const auto test = datasets::quantize_inputs(split.test, 4);
+  const mlp::Topology topo{{11, 2, 6}};  // Table I RedWine topology
+
+  mlp::BackpropConfig bp;
+  bp.epochs = 150;
+  bp.seed = 3;
+  const auto float_net = mlp::train_float_mlp(topo, split.train, bp);
+  const auto baseline = mlp::QuantMlp::from_float(float_net);
+  const auto& lib = hwmodel::CellLibrary::egfet_1v();
+
+  // (a) exact baseline.
+  const auto base_cost =
+      netlist::build_bespoke_mlp(netlist::to_bespoke_desc(baseline, "exact"))
+          .nl.cost(lib);
+  const double base_acc = mlp::accuracy(baseline, test);
+  std::cout << "(a) exact bespoke [2]:  acc " << base_acc << ", area "
+            << base_cost.area_cm2() << " cm2, power " << base_cost.power_mw()
+            << " mW\n";
+
+  // (b) post-training approximation, TC'23-style.
+  const auto tc = baselines::run_tc23(baseline, train, test, lib);
+  std::cout << "(b) post-training [5]:  acc " << tc.test_accuracy << ", area "
+            << tc.cost.area_cm2() << " cm2 ("
+            << base_cost.area_mm2 / tc.cost.area_mm2
+            << "x), config: popcount<=" << tc.max_popcount << ", truncate "
+            << tc.truncation << " columns\n";
+
+  // (c) ours: approximation inside the training loop.
+  core::TrainerConfig cfg;
+  cfg.ga.population = 40;
+  cfg.ga.generations = 30;
+  cfg.ga.seed = 3;
+  const auto result = core::train_ga_axc(topo, train, baseline, cfg);
+  const auto evaluated =
+      core::evaluate_hardware(result.estimated_pareto, test, lib);
+  const auto best = core::best_within_loss(evaluated, base_acc, 0.05);
+  if (!best) {
+    std::cout << "(c) ours: no design within 5% at this budget\n";
+    return 1;
+  }
+  std::cout << "(c) ours (GA-AxC):      acc " << best->test_accuracy
+            << ", area " << best->cost.area_cm2() << " cm2 ("
+            << base_cost.area_mm2 / best->cost.area_mm2 << "x), power "
+            << best->cost.power_mw() << " mW ("
+            << base_cost.power_uw / best->cost.power_uw << "x)\n";
+
+  std::cout << "\nwhy (c) beats (b): the GA retrains signs/exponents/biases "
+               "around the pruning masks instead of approximating a frozen "
+               "model, so far more adder columns can be removed at the same "
+               "accuracy.\n";
+  return 0;
+}

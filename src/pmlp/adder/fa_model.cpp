@@ -1,0 +1,75 @@
+#include "pmlp/adder/fa_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::adder {
+
+int ReductionStage::total() const {
+  return std::accumulate(fa_per_column.begin(), fa_per_column.end(), 0);
+}
+
+AdderCost reduce_columns(std::vector<int> heights) {
+  AdderCost cost;
+  cost.acc_width = static_cast<int>(heights.size());
+
+  auto needs_reduction = [](const std::vector<int>& h) {
+    return std::any_of(h.begin(), h.end(), [](int v) { return v > 2; });
+  };
+
+  while (needs_reduction(heights)) {
+    ReductionStage stage;
+    stage.fa_per_column.assign(heights.size(), 0);
+    std::vector<int> next(heights.size(), 0);
+    for (std::size_t c = 0; c < heights.size(); ++c) {
+      const int h = heights[c];
+      const int fa = h / 3;  // each FA eats 3 bits, emits 1 sum + 1 carry
+      stage.fa_per_column[c] = fa;
+      next[c] += h - 3 * fa + fa;  // untouched bits + sum bits
+      if (fa > 0) {
+        if (c + 1 < heights.size()) {
+          next[c + 1] += fa;  // carries
+        }
+        // Carries out of the MSB column wrap nowhere: at accumulator width W
+        // the arithmetic is mod 2^W, so they are dropped (two's complement).
+      }
+    }
+    cost.fa_reduction += stage.total();
+    cost.schedule.push_back(std::move(stage));
+    heights = std::move(next);
+    ++cost.stages;
+  }
+
+  // Final carry-propagate adder over the remaining <=2 rows: one FA per
+  // column from the least-significant column still holding two bits up to
+  // the accumulator MSB (a ripple chain must propagate that far).
+  int first_two = -1;
+  int last_any = -1;
+  for (std::size_t c = 0; c < heights.size(); ++c) {
+    if (heights[c] == 2 && first_two < 0) first_two = static_cast<int>(c);
+    if (heights[c] > 0) last_any = static_cast<int>(c);
+  }
+  if (first_two >= 0) {
+    cost.fa_cpa = last_any - first_two + 1;
+  }
+  cost.final_heights = std::move(heights);
+  return cost;
+}
+
+AdderCost estimate_adder(const NeuronAdderSpec& spec) {
+  const NeuronStructure s = analyze_neuron(spec);
+  AdderCost cost = reduce_columns(s.total_heights());
+  cost.acc_width = s.acc_width;
+  cost.folded_constant = s.folded_constant;
+  return cost;
+}
+
+long total_fa_count(const std::vector<NeuronAdderSpec>& neurons) {
+  long total = 0;
+  for (const auto& n : neurons) total += estimate_adder(n).total_fa();
+  return total;
+}
+
+}  // namespace pmlp::adder

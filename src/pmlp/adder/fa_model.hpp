@@ -1,0 +1,48 @@
+// Full-adder-count area model for multi-operand adder trees (paper §III-C,
+// Eq. 2). The paper's estimator: per reduction round, every three bits in a
+// column cost one FA, leaving one sum bit in that column and one carry in the
+// next; rounds repeat until every column holds at most two bits; the final
+// two rows go through a carry-propagate adder. Only FAs are assumed.
+//
+// estimate_adder() additionally returns the exact FA placement schedule so
+// the netlist generator instantiates *the same* tree the model priced —
+// keeping the training-time proxy and the "synthesis" result consistent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmlp/adder/summand.hpp"
+
+namespace pmlp::adder {
+
+/// FA placements of one reduction stage: fa_per_column[c] FAs in column c.
+struct ReductionStage {
+  std::vector<int> fa_per_column;
+  [[nodiscard]] int total() const;
+};
+
+/// Complete cost/plan of one neuron's multi-operand adder.
+struct AdderCost {
+  int fa_reduction = 0;  ///< FAs spent in the 3:2 reduction stages
+  int fa_cpa = 0;        ///< FAs of the final carry-propagate adder
+  int stages = 0;        ///< number of reduction rounds
+  int acc_width = 0;     ///< accumulator width W used
+  std::uint64_t folded_constant = 0;  ///< design-time constant added (mod 2^W)
+  std::vector<ReductionStage> schedule;  ///< per-stage FA placements
+  std::vector<int> final_heights;        ///< heights after reduction (<=2)
+
+  [[nodiscard]] int total_fa() const { return fa_reduction + fa_cpa; }
+};
+
+/// Reduce raw column heights with FAs only; returns cost + schedule.
+/// `heights[c]` is the number of bits entering column c.
+[[nodiscard]] AdderCost reduce_columns(std::vector<int> heights);
+
+/// Full neuron estimate: range analysis + constant folding + reduction.
+[[nodiscard]] AdderCost estimate_adder(const NeuronAdderSpec& spec);
+
+/// Paper Eq. 2: total FA count of an MLP = sum over neurons.
+[[nodiscard]] long total_fa_count(const std::vector<NeuronAdderSpec>& neurons);
+
+}  // namespace pmlp::adder

@@ -1,0 +1,87 @@
+#include "pmlp/adder/variants.hpp"
+
+#include <algorithm>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::adder {
+
+VariantCost ripple_accumulate_cost(const NeuronAdderSpec& spec) {
+  const NeuronStructure st = analyze_neuron(spec);
+  VariantCost cost;
+  // Add summands one at a time into a running accumulator of width W:
+  // each addition is a ripple CPA spanning from the summand's lowest
+  // occupied column to the accumulator MSB (carries must propagate).
+  const int W = st.acc_width;
+  bool have_acc = false;
+  auto add_operand = [&](std::uint64_t occupancy) {
+    if (occupancy == 0) return;
+    if (!have_acc) {
+      have_acc = true;  // first operand is just wires
+      return;
+    }
+    const int lo = std::countr_zero(occupancy);
+    const int span = W - lo;
+    // One FA per spanned column except the first (a HA suffices there).
+    if (span >= 1) {
+      cost.half_adders += 1;
+      cost.full_adders += span - 1;
+    }
+    cost.stages += 1;
+  };
+  for (const auto& s : spec.summands) {
+    add_operand(s.occupancy() & bitops::low_mask(W));
+  }
+  add_operand(st.folded_constant);
+  return cost;
+}
+
+VariantCost csa_with_ha_cost(const NeuronAdderSpec& spec) {
+  const NeuronStructure st = analyze_neuron(spec);
+  std::vector<int> heights = st.total_heights();
+  VariantCost cost;
+
+  auto needs_reduction = [](const std::vector<int>& h) {
+    return std::any_of(h.begin(), h.end(), [](int v) { return v > 2; });
+  };
+  while (needs_reduction(heights)) {
+    std::vector<int> next(heights.size(), 0);
+    for (std::size_t c = 0; c < heights.size(); ++c) {
+      int h = heights[c];
+      while (h >= 3) {
+        cost.full_adders += 1;
+        h -= 3;
+        next[c] += 1;
+        if (c + 1 < heights.size()) next[c + 1] += 1;
+      }
+      if (h == 2) {
+        // Wallace-style: compress the leftover pair immediately.
+        cost.half_adders += 1;
+        h = 0;
+        next[c] += 1;
+        if (c + 1 < heights.size()) next[c + 1] += 1;
+      }
+      next[c] += h;
+    }
+    heights = std::move(next);
+    cost.stages += 1;
+  }
+  // Final CPA over the <=2 rows.
+  int first_two = -1, last_any = -1;
+  for (std::size_t c = 0; c < heights.size(); ++c) {
+    if (heights[c] == 2 && first_two < 0) first_two = static_cast<int>(c);
+    if (heights[c] > 0) last_any = static_cast<int>(c);
+  }
+  if (first_two >= 0) cost.full_adders += last_any - first_two + 1;
+  return cost;
+}
+
+VariantCost fa_only_cost(const NeuronAdderSpec& spec) {
+  const AdderCost c = estimate_adder(spec);
+  VariantCost out;
+  out.full_adders = c.total_fa();
+  out.stages = c.stages;
+  return out;
+}
+
+}  // namespace pmlp::adder

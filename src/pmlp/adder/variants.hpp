@@ -1,0 +1,37 @@
+// Alternative multi-operand adder architectures, used to ablate the paper's
+// CSA/FA-count assumption (§III-C assumes 3:2 reduction with FAs only):
+//  * sequential ripple-carry accumulation (one CPA per summand),
+//  * 3:2 CSA reduction with half-adders allowed (2 leftover bits in a
+//    column cost a HA instead of waiting for a third),
+// against the paper's FA-only estimate. All return comparable cost numbers
+// so bench_ablation can chart the architecture choice.
+#pragma once
+
+#include "pmlp/adder/fa_model.hpp"
+
+namespace pmlp::adder {
+
+struct VariantCost {
+  int full_adders = 0;
+  int half_adders = 0;
+  int stages = 0;
+
+  /// Area in HA-equivalents (FA counted as 2.8 HA, the EGFET cell ratio).
+  [[nodiscard]] double ha_equivalents() const {
+    return 2.8 * full_adders + half_adders;
+  }
+};
+
+/// Sequential accumulation: summands are added one at a time with a ripple
+/// CPA at the running width. Cheap for 2-3 operands, far worse than a CSA
+/// tree for the wide fan-ins of MLP neurons.
+[[nodiscard]] VariantCost ripple_accumulate_cost(const NeuronAdderSpec& spec);
+
+/// CSA reduction that may place a half-adder when exactly two bits remain
+/// in a column during a stage (Wallace-style), then a CPA.
+[[nodiscard]] VariantCost csa_with_ha_cost(const NeuronAdderSpec& spec);
+
+/// The paper's FA-only model expressed in VariantCost form.
+[[nodiscard]] VariantCost fa_only_cost(const NeuronAdderSpec& spec);
+
+}  // namespace pmlp::adder

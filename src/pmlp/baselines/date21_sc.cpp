@@ -1,0 +1,231 @@
+#include "pmlp/baselines/date21_sc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/bitops/lfsr.hpp"
+
+namespace pmlp::baselines {
+
+namespace {
+
+/// Bipolar value -> comparator threshold for a `width`-bit SNG.
+std::uint32_t bipolar_threshold(double v, int width) {
+  const double p = std::clamp((v + 1.0) / 2.0, 0.0, 1.0);
+  const auto period = static_cast<double>((1u << width) - 1u);
+  return static_cast<std::uint32_t>(std::lround(p * period));
+}
+
+}  // namespace
+
+ScMlp::ScMlp(const mlp::FloatMlp& net, const ScConfig& cfg) : cfg_(cfg) {
+  if (cfg.stream_length < 8) {
+    throw std::invalid_argument("ScMlp: stream too short");
+  }
+  for (const auto& fl : net.layers()) {
+    Layer layer;
+    layer.n_in = fl.n_in;
+    layer.n_out = fl.n_out;
+    // SC encodes values in [-1, 1]: normalize each layer by its largest
+    // coefficient magnitude (uniform positive scaling preserves the layer's
+    // decision structure), as in stochastic NN practice. The residual
+    // precision/variance limits are what cost [10] its accuracy.
+    double scale = 1.0;
+    for (double w : fl.weights) scale = std::max(scale, std::abs(w));
+    for (double b : fl.biases) scale = std::max(scale, std::abs(b));
+    layer.weights.reserve(fl.weights.size());
+    for (double w : fl.weights) layer.weights.push_back(w / scale);
+    for (double b : fl.biases) layer.biases.push_back(b / scale);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+int ScMlp::predict(std::span<const std::uint8_t> x, int input_bits) const {
+  const int W = cfg_.lfsr_width;
+  const int L = cfg_.stream_length;
+  auto stanh_k = [this](int fan_in) {
+    return std::max(cfg_.stanh_states, 2 * (fan_in + 1));
+  };
+
+  // Distinct-seed LFSRs give time-shifted m-sequences, the standard cheap
+  // decorrelation for SC (simulated bit-true here; the hardware inventory
+  // in cost() shares generators and specializes constant comparators).
+  std::uint32_t seed = static_cast<std::uint32_t>(cfg_.seed) | 1u;
+  auto next_seed = [&seed]() {
+    seed = seed * 2654435761u + 12345u;
+    return (seed >> 8) | 1u;
+  };
+
+  // Input SNGs (shared across neurons of layer 0).
+  std::vector<bitops::StochasticNumberGenerator> input_sngs;
+  input_sngs.reserve(x.size());
+  const double in_max = static_cast<double>((1u << input_bits) - 1u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = static_cast<double>(x[i]) / in_max;  // unipolar [0,1]
+    input_sngs.emplace_back(W, bipolar_threshold(v, W), next_seed());
+  }
+
+  // Weight/bias SNGs and per-layer select LFSRs + Stanh states.
+  struct LayerState {
+    std::vector<bitops::StochasticNumberGenerator> weight_sngs;
+    std::vector<bitops::StochasticNumberGenerator> bias_sngs;
+    bitops::Lfsr select;
+    std::vector<int> stanh;  ///< per neuron, in [0, 2K)
+  };
+  std::vector<LayerState> states;
+  states.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    LayerState st{{}, {}, bitops::Lfsr(W, next_seed()), {}};
+    st.weight_sngs.reserve(layer.weights.size());
+    for (double w : layer.weights) {
+      st.weight_sngs.emplace_back(W, bipolar_threshold(w, W), next_seed());
+    }
+    st.bias_sngs.reserve(layer.biases.size());
+    for (double b : layer.biases) {
+      st.bias_sngs.emplace_back(W, bipolar_threshold(b, W), next_seed());
+    }
+    st.stanh.assign(static_cast<std::size_t>(layer.n_out),
+                    stanh_k(layer.n_in));
+    states.push_back(std::move(st));
+  }
+
+  std::vector<long> counters(
+      static_cast<std::size_t>(layers_.back().n_out), 0);
+
+  std::vector<char> bits_in;
+  std::vector<char> bits_out;
+  for (int t = 0; t < L; ++t) {
+    bits_in.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      bits_in[i] = input_sngs[i].next_bit() ? 1 : 0;
+    }
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      LayerState& st = states[l];
+      const bool is_last = l + 1 == layers_.size();
+      bits_out.assign(static_cast<std::size_t>(layer.n_out), 0);
+
+      const std::uint32_t sel_state = st.select.next();
+      const auto n_summands = static_cast<std::uint32_t>(layer.n_in + 1);
+      for (int o = 0; o < layer.n_out; ++o) {
+        // Scaled addition: a MUX picks one of (n_in + 1) product/bias
+        // streams uniformly; only the selected XNOR matters this cycle.
+        const std::uint32_t pick =
+            (sel_state + static_cast<std::uint32_t>(o) * 7919u) % n_summands;
+        char bit;
+        // Every SNG must advance each cycle to stay stream-consistent.
+        char selected = 0;
+        for (int i = 0; i < layer.n_in; ++i) {
+          const bool wb =
+              st.weight_sngs[static_cast<std::size_t>(o) *
+                                 static_cast<std::size_t>(layer.n_in) +
+                             static_cast<std::size_t>(i)]
+                  .next_bit();
+          const char prod =
+              (bits_in[static_cast<std::size_t>(i)] != 0) == wb ? 1 : 0;
+          if (static_cast<std::uint32_t>(i) == pick) selected = prod;
+        }
+        const bool bias_bit =
+            st.bias_sngs[static_cast<std::size_t>(o)].next_bit();
+        if (pick == static_cast<std::uint32_t>(layer.n_in)) {
+          selected = bias_bit ? 1 : 0;
+        }
+        bit = selected;
+
+        if (!is_last) {
+          // Stanh FSM: saturating up/down counter, output = MSB.
+          const int K = stanh_k(layer.n_in);
+          int& s = st.stanh[static_cast<std::size_t>(o)];
+          s = std::clamp(s + (bit != 0 ? 1 : -1), 0, 2 * K - 1);
+          bits_out[static_cast<std::size_t>(o)] = s >= K ? 1 : 0;
+        } else {
+          bits_out[static_cast<std::size_t>(o)] = bit;
+          counters[static_cast<std::size_t>(o)] += bit != 0 ? 1 : 0;
+        }
+      }
+      bits_in = bits_out;
+    }
+  }
+  return static_cast<int>(std::distance(
+      counters.begin(), std::max_element(counters.begin(), counters.end())));
+}
+
+double ScMlp::accuracy(const datasets::QuantizedDataset& d,
+                       std::size_t max_samples) const {
+  const std::size_t n = std::min(d.size(), max_samples);
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predict(d.row(i), d.input_bits) == d.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+hwmodel::CircuitCost ScMlp::cost(const hwmodel::CellLibrary& lib) const {
+  using hwmodel::CellType;
+  std::array<long, hwmodel::kNumCellTypes> counts{};
+  auto add = [&counts](CellType t, long n) {
+    counts[static_cast<std::size_t>(t)] += n;
+  };
+  const long W = cfg_.lfsr_width;
+
+  // Shared stream generators: one LFSR per layer for weights + one for the
+  // MUX selects + one for the inputs (W DFFs + 3 XOR taps each).
+  const long n_lfsr = static_cast<long>(layers_.size()) * 2 + 1;
+  add(CellType::kDff, n_lfsr * W);
+  add(CellType::kXor2, n_lfsr * 3);
+
+  // Input SNG comparators: full W-bit magnitude comparators.
+  const long n_inputs = layers_.front().n_in;
+  add(CellType::kXnor2, n_inputs * W);
+  add(CellType::kAnd2, n_inputs * W);
+  add(CellType::kOr2, n_inputs * W);
+
+  for (const auto& layer : layers_) {
+    const long conns = static_cast<long>(layer.n_in) * layer.n_out;
+    // Constant-threshold comparators fold to ~W/2 AND + ~W/2 OR each.
+    add(CellType::kAnd2, (conns + layer.n_out) * (W / 2));
+    add(CellType::kOr2, (conns + layer.n_out) * (W / 2));
+    // XNOR multiplier per connection.
+    add(CellType::kXnor2, conns);
+    // MUX tree per neuron over (n_in + 1) streams.
+    add(CellType::kMux2, static_cast<long>(layer.n_in) * layer.n_out);
+    // Stanh FSM per hidden neuron: saturating counter over 2K states.
+    if (&layer != &layers_.back()) {
+      const int k = std::max(cfg_.stanh_states, 2 * (layer.n_in + 1));
+      const long state_bits = bitops::bit_width_u(
+          static_cast<std::uint64_t>(2 * k - 1));
+      add(CellType::kDff, state_bits * layer.n_out);
+      add(CellType::kHalfAdder, state_bits * layer.n_out);  // +/-1 counter
+      add(CellType::kAnd2, 4L * layer.n_out);
+      add(CellType::kOr2, 2L * layer.n_out);
+    }
+  }
+  // Output counters: 11-bit (log2(1024) + 1) ripple counters per class,
+  // plus an 11-bit comparator chain for the argmax.
+  const long n_out = layers_.back().n_out;
+  add(CellType::kDff, 11L * n_out);
+  add(CellType::kHalfAdder, 11L * n_out);
+  add(CellType::kXnor2, 11L * (n_out - 1));
+  add(CellType::kAnd2, 11L * (n_out - 1));
+  add(CellType::kOr2, 11L * (n_out - 1));
+  add(CellType::kMux2, 15L * (n_out - 1));
+
+  hwmodel::CircuitCost cost;
+  for (std::size_t t = 0; t < hwmodel::kNumCellTypes; ++t) {
+    const auto& p = lib.cell(static_cast<CellType>(t));
+    cost.area_mm2 += p.area_mm2 * static_cast<double>(counts[t]);
+    cost.power_uw += p.power_uw * static_cast<double>(counts[t]);
+    cost.cell_count += counts[t];
+  }
+  // Per-cycle combinational path: comparator -> XNOR -> MUX -> FSM.
+  cost.critical_delay_us = lib.cell(CellType::kXnor2).delay_us * 2 +
+                           lib.cell(CellType::kMux2).delay_us +
+                           lib.cell(CellType::kDff).delay_us +
+                           lib.cell(CellType::kAnd2).delay_us * 4;
+  return cost;
+}
+
+}  // namespace pmlp::baselines

@@ -1,0 +1,63 @@
+// Reimplementation of the DATE'21 comparator [10] (Weller et al., "Printed
+// Stochastic Computing Neural Networks"): a bipolar stochastic-computing MLP
+// with LFSR+comparator stochastic number generators, XNOR multipliers,
+// MUX-tree scaled adders, Stanh FSM activations, and output up/down
+// counters; bitstream length 1024 (one inference therefore takes 220-230 ms
+// at the paper's SC clock). Accuracy is obtained by bit-true stream
+// simulation; cost by a structural gate inventory priced on the EGFET
+// library. The hallmark result reproduced here: tiny area/power, but a
+// large accuracy collapse on multi-class datasets.
+#pragma once
+
+#include <cstdint>
+
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/hwmodel/cells.hpp"
+#include "pmlp/mlp/float_mlp.hpp"
+
+namespace pmlp::baselines {
+
+struct ScConfig {
+  int stream_length = 1024;  ///< paper [10]: 1024-bit streams
+  int lfsr_width = 10;       ///< SNG resolution (period 1023)
+  /// Minimum Stanh FSM half-state count K (2K states total). Per layer the
+  /// effective K is max(stanh_states, 2*(fan_in+1)) so the FSM gain
+  /// (~tanh(K/2 * v)) compensates the 1/(fan_in+1) attenuation of the
+  /// MUX-tree scaled addition, as in [10].
+  int stanh_states = 8;
+  std::uint64_t seed = 0x5C;
+};
+
+/// A stochastic-computing MLP built from a float network whose weights are
+/// clamped to the bipolar [-1, 1] range.
+class ScMlp {
+ public:
+  ScMlp(const mlp::FloatMlp& net, const ScConfig& cfg);
+
+  /// Bit-true stochastic inference on a quantized sample.
+  [[nodiscard]] int predict(std::span<const std::uint8_t> x,
+                            int input_bits) const;
+
+  /// Accuracy over (at most `max_samples` of) the dataset.
+  [[nodiscard]] double accuracy(const datasets::QuantizedDataset& d,
+                                std::size_t max_samples = SIZE_MAX) const;
+
+  /// Structural gate inventory priced on `lib` (SNGs, XNORs, MUX trees,
+  /// Stanh FSMs, output counters).
+  [[nodiscard]] hwmodel::CircuitCost cost(const hwmodel::CellLibrary& lib) const;
+
+  [[nodiscard]] const ScConfig& config() const { return cfg_; }
+
+ private:
+  struct Layer {
+    int n_in = 0;
+    int n_out = 0;
+    std::vector<double> weights;  ///< clamped to [-1, 1]
+    std::vector<double> biases;   ///< clamped to [-1, 1]
+  };
+
+  ScConfig cfg_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace pmlp::baselines

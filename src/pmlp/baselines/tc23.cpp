@@ -1,0 +1,180 @@
+#include "pmlp/baselines/tc23.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/netlist/from_quant.hpp"
+#include "pmlp/netlist/opt.hpp"
+
+namespace pmlp::baselines {
+
+namespace {
+
+/// Keep only the `p` most significant set bits of `mag`.
+std::uint32_t keep_top_bits(std::uint32_t mag, int p) {
+  std::uint32_t out = 0;
+  for (int kept = 0; kept < p && mag != 0; ++kept) {
+    const int msb = bitops::msb_index(mag);
+    out |= std::uint32_t{1} << msb;
+    mag = static_cast<std::uint32_t>(
+        bitops::set_bit(mag, msb, false));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int32_t snap_to_popcount(std::int32_t code, int max_popcount) {
+  if (max_popcount < 1) throw std::invalid_argument("snap: popcount < 1");
+  if (code == 0) return 0;
+  const auto mag = static_cast<std::uint32_t>(code < 0 ? -code : code);
+  if (bitops::popcount(mag) <= max_popcount) return code;
+
+  const std::uint32_t down = keep_top_bits(mag, max_popcount);
+  // Rounding up at the lowest kept bit ripples carries upward, so the
+  // result never gains set bits beyond the budget.
+  const std::uint32_t up =
+      down + (std::uint32_t{1} << std::countr_zero(down));
+  const auto d_down = static_cast<std::int64_t>(mag) - down;
+  const auto d_up = static_cast<std::int64_t>(up) - mag;
+  const std::uint32_t best = d_up < d_down ? up : down;
+  return code < 0 ? -static_cast<std::int32_t>(best)
+                  : static_cast<std::int32_t>(best);
+}
+
+netlist::BespokeMlpDesc approximate_quant_mlp(const mlp::QuantMlp& baseline,
+                                              int max_popcount,
+                                              int truncation) {
+  netlist::BespokeMlpDesc desc;
+  desc.name = "tc23_p" + std::to_string(max_popcount) + "_t" +
+              std::to_string(truncation);
+  for (std::size_t l = 0; l < baseline.layers().size(); ++l) {
+    const auto& ql = baseline.layers()[l];
+    netlist::LayerDesc ld;
+    ld.n_in = ql.n_in;
+    ld.n_out = ql.n_out;
+    ld.input_bits = ql.input_bits;
+    ld.qrelu = l + 1 < baseline.layers().size();
+    ld.qrelu_shift = ql.qrelu_shift;
+    ld.act_bits = baseline.activation_bits();
+    const auto full_mask =
+        static_cast<std::uint32_t>(bitops::low_mask(ql.input_bits));
+    for (int o = 0; o < ql.n_out; ++o) {
+      netlist::NeuronDesc nd;
+      // Accumulator columns below `truncation` are removed, so the bias
+      // constant loses those bits as well.
+      const std::int64_t b = ql.biases[static_cast<std::size_t>(o)];
+      nd.bias = b < 0 ? -((-b >> truncation) << truncation)
+                      : ((b >> truncation) << truncation);
+      for (int i = 0; i < ql.n_in; ++i) {
+        const std::int32_t w =
+            snap_to_popcount(ql.weight(o, i), max_popcount);
+        if (w == 0) continue;
+        const auto mag = static_cast<std::uint64_t>(w < 0 ? -w : w);
+        for (int p : bitops::set_bit_positions(mag)) {
+          // Partial product occupies columns [p, p + input_bits); dropping
+          // columns below `truncation` masks the low activation bits.
+          std::uint32_t mask = full_mask;
+          if (truncation > p) {
+            mask &= ~static_cast<std::uint32_t>(
+                bitops::low_mask(truncation - p));
+          }
+          if (mask == 0) continue;
+          nd.conns.push_back(netlist::ConnDesc{i, mask, p, w < 0 ? -1 : +1});
+        }
+      }
+      ld.neurons.push_back(std::move(nd));
+    }
+    desc.layers.push_back(std::move(ld));
+  }
+  return desc;
+}
+
+int predict_desc(const netlist::BespokeMlpDesc& desc,
+                 std::span<const std::uint8_t> x, int act_bits) {
+  std::vector<std::int64_t> act(x.begin(), x.end());
+  const std::int64_t act_max = (std::int64_t{1} << act_bits) - 1;
+  for (const auto& layer : desc.layers) {
+    std::vector<std::int64_t> next(static_cast<std::size_t>(layer.n_out));
+    for (int o = 0; o < layer.n_out; ++o) {
+      const auto& neuron = layer.neurons[static_cast<std::size_t>(o)];
+      std::int64_t acc = neuron.bias;
+      for (const auto& c : neuron.conns) {
+        const auto xi = static_cast<std::uint32_t>(
+            act[static_cast<std::size_t>(c.input_index)]);
+        const std::int64_t term =
+            static_cast<std::int64_t>(xi & c.mask) << c.shift;
+        acc += c.sign < 0 ? -term : term;
+      }
+      if (layer.qrelu) {
+        acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max);
+      }
+      next[static_cast<std::size_t>(o)] = acc;
+    }
+    act = std::move(next);
+  }
+  return static_cast<int>(std::distance(
+      act.begin(), std::max_element(act.begin(), act.end())));
+}
+
+namespace {
+
+double desc_accuracy(const netlist::BespokeMlpDesc& desc,
+                     const datasets::QuantizedDataset& d, int act_bits) {
+  if (d.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (predict_desc(desc, d.row(i), act_bits) == d.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+}  // namespace
+
+Tc23Design run_tc23(const mlp::QuantMlp& baseline,
+                    const datasets::QuantizedDataset& train,
+                    const datasets::QuantizedDataset& test,
+                    const hwmodel::CellLibrary& lib, const Tc23Config& cfg) {
+  const double baseline_acc = mlp::accuracy(baseline, train);
+  const double floor_acc = baseline_acc - cfg.max_accuracy_loss;
+
+  Tc23Design best_feasible;
+  Tc23Design best_any;
+  double best_feasible_area = std::numeric_limits<double>::infinity();
+  double best_any_acc = -1.0;
+  bool have_feasible = false;
+
+  for (int p = cfg.max_popcount_min; p <= cfg.max_popcount_max; ++p) {
+    for (int t = cfg.truncation_min; t <= cfg.truncation_max; ++t) {
+      Tc23Design d;
+      d.max_popcount = p;
+      d.truncation = t;
+      d.desc = approximate_quant_mlp(baseline, p, t);
+      d.train_accuracy =
+          desc_accuracy(d.desc, train, baseline.activation_bits());
+      const auto circuit = netlist::build_bespoke_mlp(d.desc);
+      d.cost = netlist::optimize(circuit.nl).cost(lib);
+
+      if (d.train_accuracy >= floor_acc &&
+          d.cost.area_mm2 < best_feasible_area) {
+        best_feasible_area = d.cost.area_mm2;
+        best_feasible = d;
+        have_feasible = true;
+      }
+      if (d.train_accuracy > best_any_acc) {
+        best_any_acc = d.train_accuracy;
+        best_any = d;
+      }
+    }
+  }
+
+  Tc23Design chosen = have_feasible ? best_feasible : best_any;
+  chosen.test_accuracy =
+      desc_accuracy(chosen.desc, test, baseline.activation_bits());
+  return chosen;
+}
+
+}  // namespace pmlp::baselines

@@ -1,0 +1,60 @@
+// Reimplementation of the TC'23 comparator [5] (Armeniakos et al., "Co-design
+// of Approximate Multilayer Perceptron for Ultra-Resource Constrained Printed
+// Circuits"): *post-training* approximation of a bespoke MLP by
+//   (a) replacing each fixed-point coefficient with a nearby "area-efficient"
+//       value of bounded popcount (fewer partial products), and
+//   (b) truncating the accumulation (dropping low adder columns).
+// A config sweep picks the cheapest design within the 5% accuracy-loss bound,
+// mirroring the paper's post-training design-space exploration.
+#pragma once
+
+#include <cstdint>
+
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/hwmodel/cells.hpp"
+#include "pmlp/mlp/quant_mlp.hpp"
+#include "pmlp/netlist/builders.hpp"
+
+namespace pmlp::baselines {
+
+struct Tc23Config {
+  int max_popcount_min = 1;  ///< sweep range for surviving weight bits
+  int max_popcount_max = 3;
+  int truncation_min = 0;    ///< sweep range for dropped LSB columns
+  int truncation_max = 4;
+  double max_accuracy_loss = 0.05;
+};
+
+/// One approximate design produced by the sweep.
+struct Tc23Design {
+  int max_popcount = 0;
+  int truncation = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  netlist::BespokeMlpDesc desc;
+  hwmodel::CircuitCost cost;
+};
+
+/// Snap |code| to the nearest value with at most `max_popcount` set bits
+/// (sign preserved). Exposed for unit tests.
+[[nodiscard]] std::int32_t snap_to_popcount(std::int32_t code, int max_popcount);
+
+/// Apply (popcount, truncation) to the baseline and build its netlist desc.
+[[nodiscard]] netlist::BespokeMlpDesc approximate_quant_mlp(
+    const mlp::QuantMlp& baseline, int max_popcount, int truncation);
+
+/// Behavioural inference of an approximated design (mask/shift semantics
+/// identical to the netlist). Returns predicted class.
+[[nodiscard]] int predict_desc(const netlist::BespokeMlpDesc& desc,
+                               std::span<const std::uint8_t> x, int act_bits);
+
+/// Full TC'23 flow: sweep configs, keep designs within the loss bound,
+/// return the minimum-area one (by netlist cost at `lib`), or the most
+/// accurate design if none meets the bound.
+[[nodiscard]] Tc23Design run_tc23(const mlp::QuantMlp& baseline,
+                                  const datasets::QuantizedDataset& train,
+                                  const datasets::QuantizedDataset& test,
+                                  const hwmodel::CellLibrary& lib,
+                                  const Tc23Config& cfg = {});
+
+}  // namespace pmlp::baselines

@@ -1,0 +1,83 @@
+#include "pmlp/baselines/tcad23.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/netlist/opt.hpp"
+
+namespace pmlp::baselines {
+
+double vos_accuracy(const netlist::BespokeMlpDesc& desc,
+                    const datasets::QuantizedDataset& d, int act_bits,
+                    double upset_probability, std::uint64_t seed) {
+  if (d.size() == 0) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution upset(std::clamp(upset_probability, 0.0, 1.0));
+  const std::int64_t act_max = (std::int64_t{1} << act_bits) - 1;
+
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < d.size(); ++s) {
+    const auto x = d.row(s);
+    std::vector<std::int64_t> act(x.begin(), x.end());
+    for (const auto& layer : desc.layers) {
+      std::vector<std::int64_t> next(static_cast<std::size_t>(layer.n_out));
+      for (int o = 0; o < layer.n_out; ++o) {
+        const auto& neuron = layer.neurons[static_cast<std::size_t>(o)];
+        std::int64_t acc = neuron.bias;
+        for (const auto& c : neuron.conns) {
+          const auto xi = static_cast<std::uint32_t>(
+              act[static_cast<std::size_t>(c.input_index)]);
+          const std::int64_t term =
+              static_cast<std::int64_t>(xi & c.mask) << c.shift;
+          acc += c.sign < 0 ? -term : term;
+        }
+        if (upset_probability > 0.0 && upset(rng)) {
+          // The longest carry chain fails first: flip the accumulator's
+          // top magnitude bit.
+          const std::int64_t mag = acc < 0 ? -acc : acc;
+          const int top = bitops::msb_index(static_cast<std::uint64_t>(mag | 1));
+          acc ^= std::int64_t{1} << top;
+        }
+        if (layer.qrelu) {
+          acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max);
+        }
+        next[static_cast<std::size_t>(o)] = acc;
+      }
+      act = std::move(next);
+    }
+    const int pred = static_cast<int>(std::distance(
+        act.begin(), std::max_element(act.begin(), act.end())));
+    if (pred == d.labels[s]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+Tcad23Design run_tcad23(const mlp::QuantMlp& baseline,
+                        const datasets::QuantizedDataset& train,
+                        const datasets::QuantizedDataset& test,
+                        const hwmodel::CellLibrary& lib_1v,
+                        const Tcad23Config& cfg) {
+  Tcad23Design out;
+  out.approx = run_tc23(baseline, train, test, lib_1v, cfg.approx);
+  out.voltage = cfg.vos_voltage;
+
+  const auto circuit = netlist::build_bespoke_mlp(out.approx.desc);
+  const auto lib_vos = lib_1v.at_voltage(cfg.vos_voltage);
+  const auto cost = netlist::optimize(circuit.nl).cost(lib_vos);
+  out.power_mw = cost.power_mw();
+  out.area_cm2 = cost.area_cm2();
+
+  // Timing: if the scaled critical path exceeds the clock, upsets appear
+  // proportionally to the deficit.
+  const double deficit_us =
+      std::max(0.0, cost.critical_delay_us - cfg.clock_ms * 1000.0);
+  out.upset_probability =
+      std::min(1.0, deficit_us * cfg.upset_per_us_deficit);
+  out.test_accuracy =
+      vos_accuracy(out.approx.desc, test, baseline.activation_bits(),
+                   out.upset_probability, cfg.error_seed);
+  return out;
+}
+
+}  // namespace pmlp::baselines

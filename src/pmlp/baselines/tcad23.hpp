@@ -1,0 +1,53 @@
+// Reimplementation of the TCAD'23 comparator [7] (Armeniakos et al.,
+// "Model-to-Circuit Cross-Approximation for Printed Machine Learning
+// Classifiers"): the cross-layer approximation of [6] (coefficient
+// replacement + gate-level pruning, modeled here as the TC'23-style
+// popcount/truncation approximation) combined with Voltage Over-Scaling —
+// the supply is lowered below 0.8 V, trading timing slack for power; when
+// the critical path no longer fits the clock, timing errors corrupt the
+// accumulator MSBs (modeled as seeded random upsets during evaluation).
+#pragma once
+
+#include <cstdint>
+
+#include "pmlp/baselines/tc23.hpp"
+
+namespace pmlp::baselines {
+
+struct Tcad23Config {
+  Tc23Config approx;          ///< underlying model-level approximation
+  double vos_voltage = 0.8;   ///< operating point (paper: below 0.8 V)
+  double clock_ms = 200.0;    ///< synthesis clock (250 for Pendigits)
+  /// Timing-upset probability per neuron per inference when the scaled
+  /// critical path exceeds the clock, per microsecond of deficit.
+  double upset_per_us_deficit = 0.05;
+  std::uint64_t error_seed = 99;
+};
+
+struct Tcad23Design {
+  Tc23Design approx;          ///< chosen model-level approximation
+  double voltage = 0.8;
+  double power_mw = 0.0;      ///< at the VOS operating point
+  double area_cm2 = 0.0;
+  double upset_probability = 0.0;  ///< derived timing-error rate
+  double test_accuracy = 0.0;      ///< with VOS error injection
+};
+
+/// Evaluate a design's accuracy under VOS timing-error injection.
+/// With `upset_probability` per neuron, the neuron's accumulator is
+/// corrupted by flipping its most significant carry-chain bit — the
+/// longest (and thus first-failing) timing path.
+[[nodiscard]] double vos_accuracy(const netlist::BespokeMlpDesc& desc,
+                                  const datasets::QuantizedDataset& d,
+                                  int act_bits, double upset_probability,
+                                  std::uint64_t seed);
+
+/// Full TCAD'23 flow: TC'23-style sweep at nominal voltage, then re-price
+/// and re-score at the VOS operating point.
+[[nodiscard]] Tcad23Design run_tcad23(const mlp::QuantMlp& baseline,
+                                      const datasets::QuantizedDataset& train,
+                                      const datasets::QuantizedDataset& test,
+                                      const hwmodel::CellLibrary& lib_1v,
+                                      const Tcad23Config& cfg = {});
+
+}  // namespace pmlp::baselines

@@ -1,0 +1,79 @@
+#include "pmlp/bitops/bitops.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pmlp::bitops {
+
+int bit_width_signed(std::int64_t v) noexcept {
+  // Smallest width w such that -2^(w-1) <= v < 2^(w-1).
+  if (v == 0 || v == -1) return 1;
+  if (v > 0) return bit_width_u(static_cast<std::uint64_t>(v)) + 1;
+  // Negative: width of ~v (== -v - 1) plus sign bit.
+  return bit_width_u(static_cast<std::uint64_t>(~v)) + 1;
+}
+
+std::vector<int> set_bit_positions(std::uint64_t v) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(popcount(v)));
+  while (v != 0) {
+    const int pos = std::countr_zero(v);
+    out.push_back(pos);
+    v &= v - 1;
+  }
+  return out;
+}
+
+std::uint64_t to_twos_complement(std::int64_t v, int width) {
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument("to_twos_complement: width out of [1,63]");
+  }
+  return static_cast<std::uint64_t>(v) & low_mask(width);
+}
+
+std::int64_t from_twos_complement(std::uint64_t bits, int width) {
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument("from_twos_complement: width out of [1,63]");
+  }
+  bits &= low_mask(width);
+  if (test_bit(bits, width - 1)) {
+    return static_cast<std::int64_t>(bits) -
+           static_cast<std::int64_t>(std::uint64_t{1} << width);
+  }
+  return static_cast<std::int64_t>(bits);
+}
+
+std::string to_binary_string(std::uint64_t v, int width) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("to_binary_string: width out of [1,64]");
+  }
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if (test_bit(v, width - 1 - i)) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+std::uint64_t from_binary_string(const std::string& s) {
+  if (s.empty() || s.size() > 64) {
+    throw std::invalid_argument("from_binary_string: length out of [1,64]");
+  }
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("from_binary_string: non-binary digit");
+    }
+    v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::uint64_t reverse_bits(std::uint64_t v, int width) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    if (test_bit(v, i)) out = set_bit(out, width - 1 - i, true);
+  }
+  return out;
+}
+
+}  // namespace pmlp::bitops

@@ -1,0 +1,74 @@
+// Bit-level helpers shared by the adder-area model, the netlist generator and
+// the approximate-MLP inference path.
+//
+// All printed-MLP signals in this code base are small unsigned bit vectors
+// (4-bit inputs, 8-bit activations, <=24-bit accumulators), so plain
+// uint32_t/int64_t carriers with explicit widths are used throughout instead
+// of a heavyweight arbitrary-precision type.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmlp::bitops {
+
+/// Number of set bits in `v`.
+[[nodiscard]] constexpr int popcount(std::uint64_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Mask with the lowest `width` bits set. `width` must be in [0, 64].
+[[nodiscard]] constexpr std::uint64_t low_mask(int width) noexcept {
+  return width >= 64 ? ~std::uint64_t{0}
+         : width <= 0 ? 0
+                      : ((std::uint64_t{1} << width) - 1);
+}
+
+/// True if bit `pos` of `v` is set.
+[[nodiscard]] constexpr bool test_bit(std::uint64_t v, int pos) noexcept {
+  return pos >= 0 && pos < 64 && ((v >> pos) & 1u) != 0;
+}
+
+/// Sets (value=true) or clears bit `pos` and returns the new word.
+[[nodiscard]] constexpr std::uint64_t set_bit(std::uint64_t v, int pos,
+                                              bool value) noexcept {
+  if (pos < 0 || pos >= 64) return v;
+  const std::uint64_t m = std::uint64_t{1} << pos;
+  return value ? (v | m) : (v & ~m);
+}
+
+/// Index of the most significant set bit, or -1 for v == 0.
+[[nodiscard]] constexpr int msb_index(std::uint64_t v) noexcept {
+  return v == 0 ? -1 : 63 - std::countl_zero(v);
+}
+
+/// Minimum number of bits needed to represent unsigned `v` (>=1 for v==0 -> 1).
+[[nodiscard]] constexpr int bit_width_u(std::uint64_t v) noexcept {
+  return v == 0 ? 1 : msb_index(v) + 1;
+}
+
+/// Minimum two's-complement width holding the signed value `v`.
+[[nodiscard]] int bit_width_signed(std::int64_t v) noexcept;
+
+/// Positions (ascending) of the set bits in `v`.
+[[nodiscard]] std::vector<int> set_bit_positions(std::uint64_t v);
+
+/// Two's-complement encoding of `v` into `width` bits (value modulo 2^width).
+/// `width` must be in [1, 63].
+[[nodiscard]] std::uint64_t to_twos_complement(std::int64_t v, int width);
+
+/// Inverse of to_twos_complement: interpret the low `width` bits as signed.
+[[nodiscard]] std::int64_t from_twos_complement(std::uint64_t bits, int width);
+
+/// Binary string (MSB first) of the low `width` bits, e.g. "101101".
+[[nodiscard]] std::string to_binary_string(std::uint64_t v, int width);
+
+/// Parse a binary string produced by to_binary_string.
+[[nodiscard]] std::uint64_t from_binary_string(const std::string& s);
+
+/// Reverses the low `width` bits of `v`.
+[[nodiscard]] std::uint64_t reverse_bits(std::uint64_t v, int width);
+
+}  // namespace pmlp::bitops

@@ -1,0 +1,61 @@
+#include "pmlp/bitops/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmlp::bitops {
+
+std::uint32_t UnsignedQuantizer::quantize(double x) const noexcept {
+  const double clamped = std::clamp(x, 0.0, 1.0);
+  const double scaled = clamped * static_cast<double>(levels());
+  return static_cast<std::uint32_t>(std::lround(scaled));
+}
+
+double UnsignedQuantizer::dequantize(std::uint32_t code) const noexcept {
+  const std::uint32_t c = std::min(code, levels());
+  return static_cast<double>(c) / static_cast<double>(levels());
+}
+
+SignedQuantizer SignedQuantizer::fit(const std::vector<double>& values,
+                                     int bits) {
+  if (bits < 2 || bits > 31) {
+    throw std::invalid_argument("SignedQuantizer::fit: bits out of [2,31]");
+  }
+  double max_abs = 0.0;
+  for (double v : values) max_abs = std::max(max_abs, std::abs(v));
+  SignedQuantizer q;
+  q.bits = bits;
+  const auto max_code = static_cast<double>((std::int32_t{1} << (bits - 1)) - 1);
+  q.scale = max_abs > 0.0 ? max_abs / max_code : 1.0 / max_code;
+  return q;
+}
+
+std::int32_t SignedQuantizer::quantize(double w) const noexcept {
+  const double code = std::round(w / scale);
+  const double limit = static_cast<double>(max_code());
+  return static_cast<std::int32_t>(std::clamp(code, -limit, limit));
+}
+
+double SignedQuantizer::dequantize(std::int32_t code) const noexcept {
+  return static_cast<double>(code) * scale;
+}
+
+Pow2Weight nearest_pow2(std::int64_t code, int max_exponent) {
+  Pow2Weight w;
+  w.sign = code < 0 ? -1 : +1;
+  const auto mag = static_cast<double>(code < 0 ? -code : code);
+  if (mag < 1.0) return {+1, 0};
+  // Round the exponent in log-space: nearest power of two to `mag`.
+  const double e = std::log2(mag);
+  int k = static_cast<int>(std::lround(e));
+  // lround(log2) can be off by one at the midpoints; fix up by comparing the
+  // two candidate magnitudes directly.
+  const double lo = std::exp2(k - 1), hi = std::exp2(k);
+  if (k > 0 && std::abs(mag - lo) < std::abs(mag - hi)) k -= 1;
+  k = std::clamp(k, 0, max_exponent);
+  w.exponent = k;
+  return w;
+}
+
+}  // namespace pmlp::bitops

@@ -1,0 +1,60 @@
+// Fixed-point quantization helpers used by both the exact bespoke baseline
+// (8-bit fixed-point weights, 4-bit inputs, as in Mubarik et al. MICRO'20)
+// and the approximate pow2-weight model of the paper (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pmlp::bitops {
+
+/// Unsigned uniform quantizer mapping [0, 1] real values onto `bits`-bit
+/// integer codes (0 .. 2^bits - 1). Used for the 4-bit MLP inputs and the
+/// 8-bit QReLU activations.
+struct UnsignedQuantizer {
+  int bits = 4;
+
+  [[nodiscard]] std::uint32_t levels() const noexcept {
+    return (std::uint32_t{1} << bits) - 1u;
+  }
+  /// Quantize a real in [0,1]; values outside are clamped.
+  [[nodiscard]] std::uint32_t quantize(double x) const noexcept;
+  /// Midpoint reconstruction of a code back to [0,1].
+  [[nodiscard]] double dequantize(std::uint32_t code) const noexcept;
+};
+
+/// Symmetric signed fixed-point quantizer for weights: `bits` total bits
+/// (one sign bit), scale chosen per-tensor from the max |w|.
+/// code in [-(2^(bits-1)-1), +(2^(bits-1)-1)], w ~= code * scale.
+struct SignedQuantizer {
+  int bits = 8;
+  double scale = 1.0;  ///< real value represented by code == 1
+
+  /// Build a quantizer whose range covers max|w| of `values`.
+  static SignedQuantizer fit(const std::vector<double>& values, int bits);
+
+  [[nodiscard]] std::int32_t max_code() const noexcept {
+    return (std::int32_t{1} << (bits - 1)) - 1;
+  }
+  [[nodiscard]] std::int32_t quantize(double w) const noexcept;
+  [[nodiscard]] double dequantize(std::int32_t code) const noexcept;
+};
+
+/// Power-of-two weight descriptor (paper Eq. 1): w = sign * 2^exponent,
+/// exponent in [0, max_exponent]. The all-masked case (structural zero) is
+/// represented outside this type (a zero mask), exactly as in the paper.
+struct Pow2Weight {
+  int sign = +1;      ///< -1 or +1
+  int exponent = 0;   ///< k in [0, n-2] for n-bit weights
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return static_cast<std::int64_t>(sign) * (std::int64_t{1} << exponent);
+  }
+};
+
+/// Snap an integer weight code to the nearest power-of-two magnitude with
+/// exponent clamped to [0, max_exponent]. Zero maps to {+1, 0} by convention
+/// (callers represent true zeros with a zero mask instead).
+[[nodiscard]] Pow2Weight nearest_pow2(std::int64_t code, int max_exponent);
+
+}  // namespace pmlp::bitops

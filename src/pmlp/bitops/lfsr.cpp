@@ -1,0 +1,44 @@
+#include "pmlp/bitops/lfsr.hpp"
+
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::bitops {
+
+std::uint32_t Lfsr::taps_for_width(int width) {
+  // Maximal-length Galois tap masks (xor applied when LSB shifted out).
+  // Values are standard primitive-polynomial masks.
+  switch (width) {
+    case 4:  return 0x9u;      // x^4 + x^3 + 1
+    case 5:  return 0x12u;     // x^5 + x^3 + 1
+    case 6:  return 0x21u;     // x^6 + x^5 + 1
+    case 7:  return 0x41u;     // x^7 + x^6 + 1
+    case 8:  return 0x8Eu;     // x^8 + x^6 + x^5 + x^4 + 1
+    case 9:  return 0x108u;    // x^9 + x^5 + 1
+    case 10: return 0x204u;    // x^10 + x^7 + 1
+    case 11: return 0x402u;    // x^11 + x^9 + 1
+    case 12: return 0x829u;    // x^12 + x^6 + x^4 + x^1 + 1
+    case 13: return 0x100Du;   // x^13 + x^4 + x^3 + x^1 + 1
+    case 14: return 0x2015u;   // x^14 + x^5 + x^3 + x^1 + 1
+    case 15: return 0x4001u;   // x^15 + x^14 + 1
+    case 16: return 0x8016u;   // x^16 + x^15 + x^13 + x^4 + 1
+    default:
+      throw std::invalid_argument("Lfsr: width must be in [4,16]");
+  }
+}
+
+Lfsr::Lfsr(int width, std::uint32_t seed)
+    : width_(width), taps_(taps_for_width(width)) {
+  state_ = seed & static_cast<std::uint32_t>(low_mask(width));
+  if (state_ == 0) state_ = 1;
+}
+
+std::uint32_t Lfsr::next() {
+  const bool lsb = (state_ & 1u) != 0;
+  state_ >>= 1;
+  if (lsb) state_ ^= taps_;
+  return state_;
+}
+
+}  // namespace pmlp::bitops

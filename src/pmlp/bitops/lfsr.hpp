@@ -1,0 +1,55 @@
+// Maximal-length linear-feedback shift registers. These are the stochastic
+// number generators (SNGs) of the DATE'21 stochastic-computing printed MLP
+// baseline we compare against in Fig. 4, and double as a cheap deterministic
+// bit source in tests.
+#pragma once
+
+#include <cstdint>
+
+namespace pmlp::bitops {
+
+/// Galois LFSR over `width` bits (4..16) using a maximal-length tap set, so
+/// the sequence period is 2^width - 1 (state 0 is absorbing and rejected).
+class Lfsr {
+ public:
+  /// `seed` must be non-zero after truncation to `width` bits; a zero seed is
+  /// replaced by 1 so the register never locks up.
+  explicit Lfsr(int width, std::uint32_t seed = 1u);
+
+  /// Advance one step and return the new state.
+  std::uint32_t next();
+
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] std::uint32_t period() const noexcept {
+    return (std::uint32_t{1} << width_) - 1u;
+  }
+
+  /// Maximal-length Galois tap mask for the given width.
+  static std::uint32_t taps_for_width(int width);
+
+ private:
+  int width_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+/// Stochastic number generator: emits a 1 with probability `threshold / 2^w`
+/// per LFSR step (unipolar SC encoding).
+class StochasticNumberGenerator {
+ public:
+  StochasticNumberGenerator(int width, std::uint32_t threshold,
+                            std::uint32_t seed = 1u)
+      : lfsr_(width, seed), threshold_(threshold) {}
+
+  /// Next stochastic bit: compare LFSR state against the threshold.
+  bool next_bit() { return lfsr_.next() <= threshold_; }
+
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+ private:
+  Lfsr lfsr_;
+  std::uint32_t threshold_;
+};
+
+}  // namespace pmlp::bitops

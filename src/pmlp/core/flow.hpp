@@ -1,0 +1,67 @@
+// End-to-end convenience flow (the whole Fig. 2 pipeline as a library
+// call): dataset -> gradient-trained float MLP -> quantized bespoke
+// baseline [2] -> GA-AxC training -> optional greedy refinement ->
+// gate-level pricing/verification -> Table II design pick. The bench
+// binaries and examples are thin wrappers over these entry points.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pmlp/core/hardware_analysis.hpp"
+#include "pmlp/core/refine.hpp"
+#include "pmlp/core/trainer.hpp"
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/mlp/backprop.hpp"
+
+namespace pmlp::core {
+
+struct FlowConfig {
+  double train_fraction = 0.7;     ///< stratified split (paper §V-A)
+  std::uint64_t split_seed = 1;
+  mlp::BackpropConfig backprop;    ///< float/gradient training
+  TrainerConfig trainer;           ///< GA-AxC
+  bool refine = true;              ///< greedy post-GA refinement extension
+  double refine_max_point_loss = 0.01;
+  double report_max_loss = 0.05;   ///< Table II selection bound
+  HardwareAnalysisConfig hardware; ///< equivalence-check depth
+};
+
+/// Everything produced up to (and including) the baseline.
+struct BaselineArtifacts {
+  datasets::Dataset train_raw;
+  datasets::Dataset test_raw;
+  datasets::QuantizedDataset train;
+  datasets::QuantizedDataset test;
+  mlp::FloatMlp float_net;
+  mlp::QuantMlp baseline;
+  hwmodel::CircuitCost baseline_cost;     ///< bespoke netlist at 1 V
+  double baseline_train_accuracy = 0.0;
+  double baseline_test_accuracy = 0.0;
+};
+
+/// Split/quantize a normalized dataset, train and quantize the baseline,
+/// and price its bespoke circuit at 1 V.
+[[nodiscard]] BaselineArtifacts build_baseline(const datasets::Dataset& data,
+                                               const mlp::Topology& topology,
+                                               const FlowConfig& cfg);
+
+/// Full flow result.
+struct FlowResult {
+  BaselineArtifacts baseline;
+  TrainingResult training;
+  std::vector<HwEvaluatedPoint> evaluated;  ///< all candidates, priced
+  std::vector<HwEvaluatedPoint> front;      ///< true Pareto subset
+  /// Table II pick: min-area design within report_max_loss of the
+  /// baseline's test accuracy (nullopt if none qualified).
+  std::optional<HwEvaluatedPoint> best;
+  double area_reduction = 0.0;   ///< baseline/best (0 if no pick)
+  double power_reduction = 0.0;
+};
+
+/// Run the complete pipeline on a normalized dataset.
+[[nodiscard]] FlowResult run_flow(const datasets::Dataset& data,
+                                  const mlp::Topology& topology,
+                                  const FlowConfig& cfg);
+
+}  // namespace pmlp::core

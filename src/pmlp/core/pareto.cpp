@@ -1,0 +1,45 @@
+#include "pmlp/core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pmlp::core {
+
+bool dominates2(const Point2& a, const Point2& b) {
+  return a.f1 <= b.f1 && a.f2 <= b.f2 && (a.f1 < b.f1 || a.f2 < b.f2);
+}
+
+std::vector<std::size_t> pareto_indices(std::span<const Point2> pts) {
+  std::vector<std::size_t> idx(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (pts[a].f1 != pts[b].f1) return pts[a].f1 < pts[b].f1;
+    return pts[a].f2 < pts[b].f2;
+  });
+  // Sweep by f1: a point is non-dominated iff its f2 beats the running min.
+  std::vector<std::size_t> front;
+  double best_f2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i : idx) {
+    if (pts[i].f2 < best_f2) {
+      front.push_back(i);
+      best_f2 = pts[i].f2;
+    }
+  }
+  return front;
+}
+
+double hypervolume2(std::span<const Point2> pts, double ref1, double ref2) {
+  const auto front = pareto_indices(pts);
+  double hv = 0.0;
+  double prev_f1 = ref1;
+  // Walk the front from largest f1 to smallest; each step adds a rectangle.
+  for (auto it = front.rbegin(); it != front.rend(); ++it) {
+    const Point2& p = pts[*it];
+    if (p.f1 >= ref1 || p.f2 >= ref2) continue;
+    hv += (prev_f1 - p.f1) * (ref2 - p.f2);
+    prev_f1 = p.f1;
+  }
+  return hv;
+}
+
+}  // namespace pmlp::core

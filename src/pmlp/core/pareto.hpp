@@ -1,0 +1,28 @@
+// Small 2-D Pareto utilities (both objectives minimized): front extraction
+// and hypervolume, used for Pareto analysis of trained circuits and for
+// convergence assertions in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pmlp::core {
+
+struct Point2 {
+  double f1 = 0.0;
+  double f2 = 0.0;
+};
+
+/// a dominates b (minimization, weak on each axis, strict on one).
+[[nodiscard]] bool dominates2(const Point2& a, const Point2& b);
+
+/// Indices of the non-dominated points, sorted by f1 ascending.
+[[nodiscard]] std::vector<std::size_t> pareto_indices(std::span<const Point2> pts);
+
+/// 2-D hypervolume dominated by `pts` w.r.t. reference (ref1, ref2);
+/// points beyond the reference contribute nothing.
+[[nodiscard]] double hypervolume2(std::span<const Point2> pts, double ref1,
+                                  double ref2);
+
+}  // namespace pmlp::core

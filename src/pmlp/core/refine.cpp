@@ -1,0 +1,103 @@
+#include "pmlp/core/refine.hpp"
+
+#include <algorithm>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::core {
+
+namespace {
+
+/// Round a bias to the nearest value with fewer set bits (magnitude-wise),
+/// e.g. 0b0110111 -> 0b0111000. Returns the candidate (may equal input).
+std::int64_t simplify_bias(std::int64_t b) {
+  if (b == 0) return 0;
+  const bool neg = b < 0;
+  const auto mag = static_cast<std::uint64_t>(neg ? -b : b);
+  if (bitops::popcount(mag) <= 2) return b;
+  // Keep the top two set bits, round at the second.
+  const int top = bitops::msb_index(mag);
+  std::uint64_t kept = std::uint64_t{1} << top;
+  std::uint64_t rest = mag ^ kept;
+  if (rest != 0) {
+    const int second = bitops::msb_index(rest);
+    kept |= std::uint64_t{1} << second;
+    rest ^= std::uint64_t{1} << second;
+    if (second > 0 && rest >= (std::uint64_t{1} << (second - 1))) {
+      kept += std::uint64_t{1} << second;  // round up at the kept LSB
+    }
+  }
+  const auto out = static_cast<std::int64_t>(kept);
+  return neg ? -out : out;
+}
+
+}  // namespace
+
+RefineReport refine_greedy(ApproxMlp& net,
+                           const datasets::QuantizedDataset& train,
+                           const RefineConfig& cfg) {
+  RefineReport report;
+  report.fa_before = net.fa_area();
+  report.accuracy_before = accuracy(net, train);
+
+  double current_acc = report.accuracy_before;
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    bool changed = false;
+    for (auto& layer : net.layers()) {
+      const auto width_mask =
+          static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+      for (int o = 0; o < layer.n_out; ++o) {
+        for (int i = 0; i < layer.n_in; ++i) {
+          ApproxConn& c = layer.conn(o, i);
+          std::uint32_t remaining = c.mask & width_mask;
+          while (remaining != 0) {
+            // Clear the least significant retained bit first: it carries
+            // the least signal and sits in the cheapest column, so if any
+            // bit can go, this one is the most likely.
+            const int bit = std::countr_zero(remaining);
+            remaining &= remaining - 1;
+            const std::uint32_t saved = c.mask;
+            c.mask = static_cast<std::uint32_t>(
+                bitops::set_bit(c.mask, bit, false));
+            net.update_qrelu_shifts();
+            const double acc = accuracy(net, train);
+            if (acc + 1e-12 >= cfg.accuracy_floor &&
+                acc + 1e-12 >= current_acc - 0.002) {
+              current_acc = std::max(current_acc, acc);
+              report.bits_cleared += 1;
+              changed = true;
+            } else {
+              c.mask = saved;  // revert
+            }
+          }
+        }
+        if (cfg.refine_biases) {
+          auto& bias = layer.biases[static_cast<std::size_t>(o)];
+          const std::int64_t candidate = simplify_bias(bias);
+          if (candidate != bias) {
+            const std::int64_t saved = bias;
+            bias = candidate;
+            net.update_qrelu_shifts();
+            const double acc = accuracy(net, train);
+            if (acc + 1e-12 >= cfg.accuracy_floor &&
+                acc + 1e-12 >= current_acc - 0.002) {
+              current_acc = std::max(current_acc, acc);
+              report.biases_simplified += 1;
+              changed = true;
+            } else {
+              bias = saved;
+            }
+          }
+        }
+      }
+    }
+    report.passes = pass + 1;
+    if (!changed) break;
+  }
+  net.update_qrelu_shifts();
+  report.fa_after = net.fa_area();
+  report.accuracy_after = accuracy(net, train);
+  return report;
+}
+
+}  // namespace pmlp::core

@@ -1,0 +1,37 @@
+// Greedy post-GA refinement (an extension beyond the paper): given a trained
+// approximate MLP, try clearing mask bits one at a time — cheapest-first by
+// the FA-count gain of the removal — keeping every change that does not push
+// training accuracy below a floor. This squeezes the last FAs out of each
+// Pareto point before synthesis; bench_ablation quantifies the benefit.
+#pragma once
+
+#include "pmlp/core/approx_mlp.hpp"
+#include "pmlp/datasets/dataset.hpp"
+
+namespace pmlp::core {
+
+struct RefineConfig {
+  /// Lowest acceptable training accuracy (absolute, e.g. baseline - 0.05).
+  double accuracy_floor = 0.0;
+  /// Maximum full passes over all remaining mask bits.
+  int max_passes = 3;
+  /// Also try rounding biases toward fewer set bits (cheaper constants).
+  bool refine_biases = true;
+};
+
+struct RefineReport {
+  long bits_cleared = 0;
+  long biases_simplified = 0;
+  long fa_before = 0;
+  long fa_after = 0;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  int passes = 0;
+};
+
+/// Refine `net` in place against `train`; returns what changed.
+RefineReport refine_greedy(ApproxMlp& net,
+                           const datasets::QuantizedDataset& train,
+                           const RefineConfig& cfg);
+
+}  // namespace pmlp::core

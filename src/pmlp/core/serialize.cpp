@@ -1,0 +1,144 @@
+#include "pmlp/core/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::core {
+
+namespace {
+constexpr const char* kMagic = "pmlp-approx-mlp";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_model(const ApproxMlp& net, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "topology";
+  for (int n : net.topology().layers) os << ' ' << n;
+  os << '\n';
+  const auto& b = net.bits();
+  os << "bits " << b.weight_bits << ' ' << b.input_bits << ' ' << b.act_bits
+     << ' ' << b.bias_bits << '\n';
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    os << "layer " << l << '\n';
+    for (int o = 0; o < layer.n_out; ++o) {
+      for (int i = 0; i < layer.n_in; ++i) {
+        const ApproxConn& c = layer.conn(o, i);
+        os << "conn " << o << ' ' << i << ' ' << c.mask << ' '
+           << (c.sign < 0 ? -1 : 1) << ' ' << c.exponent << '\n';
+      }
+    }
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "bias " << o << ' ' << layer.biases[static_cast<std::size_t>(o)]
+         << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("save_model: stream failure");
+}
+
+std::string to_text(const ApproxMlp& net) {
+  std::ostringstream os;
+  save_model(net, os);
+  return os.str();
+}
+
+ApproxMlp load_model(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::invalid_argument("load_model: bad header");
+  }
+  std::string tag;
+  if (!(is >> tag) || tag != "topology") {
+    throw std::invalid_argument("load_model: expected topology");
+  }
+  // Topology: read ints until the "bits" tag.
+  mlp::Topology topo;
+  std::string token;
+  while (is >> token) {
+    if (token == "bits") break;
+    try {
+      topo.layers.push_back(std::stoi(token));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("load_model: bad topology entry");
+    }
+  }
+  if (token != "bits" || topo.layers.size() < 2) {
+    throw std::invalid_argument("load_model: malformed topology/bits");
+  }
+  BitConfig bits;
+  if (!(is >> bits.weight_bits >> bits.input_bits >> bits.act_bits >>
+        bits.bias_bits)) {
+    throw std::invalid_argument("load_model: malformed bit config");
+  }
+  if (bits.weight_bits < 2 || bits.weight_bits > 16 || bits.input_bits < 1 ||
+      bits.input_bits > 8 || bits.act_bits < 1 || bits.act_bits > 16 ||
+      bits.bias_bits < 2 || bits.bias_bits > 24) {
+    throw std::invalid_argument("load_model: bit config out of range");
+  }
+
+  ApproxMlp net(topo, bits);
+  int current_layer = -1;
+  while (is >> tag) {
+    if (tag == "layer") {
+      if (!(is >> current_layer) || current_layer < 0 ||
+          current_layer >= static_cast<int>(net.layers().size())) {
+        throw std::invalid_argument("load_model: bad layer index");
+      }
+    } else if (tag == "conn") {
+      if (current_layer < 0) {
+        throw std::invalid_argument("load_model: conn before layer");
+      }
+      auto& layer = net.layers()[static_cast<std::size_t>(current_layer)];
+      int o = 0, i = 0, sign = 0, exponent = 0;
+      std::uint32_t mask = 0;
+      if (!(is >> o >> i >> mask >> sign >> exponent)) {
+        throw std::invalid_argument("load_model: malformed conn");
+      }
+      if (o < 0 || o >= layer.n_out || i < 0 || i >= layer.n_in ||
+          (sign != 1 && sign != -1) || exponent < 0 ||
+          exponent > bits.max_exponent() ||
+          mask > bitops::low_mask(layer.input_bits)) {
+        throw std::invalid_argument("load_model: conn out of range");
+      }
+      layer.conn(o, i) = ApproxConn{mask, sign, exponent};
+    } else if (tag == "bias") {
+      if (current_layer < 0) {
+        throw std::invalid_argument("load_model: bias before layer");
+      }
+      auto& layer = net.layers()[static_cast<std::size_t>(current_layer)];
+      int o = 0;
+      std::int64_t value = 0;
+      if (!(is >> o >> value) || o < 0 || o >= layer.n_out ||
+          value < bits.bias_min() || value > bits.bias_max()) {
+        throw std::invalid_argument("load_model: bias out of range");
+      }
+      layer.biases[static_cast<std::size_t>(o)] = value;
+    } else {
+      throw std::invalid_argument("load_model: unknown tag " + tag);
+    }
+  }
+  net.update_qrelu_shifts();
+  return net;
+}
+
+ApproxMlp from_text(const std::string& text) {
+  std::istringstream is(text);
+  return load_model(is);
+}
+
+void save_model_file(const ApproxMlp& net, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(net, os);
+}
+
+ApproxMlp load_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(is);
+}
+
+}  // namespace pmlp::core

@@ -1,0 +1,37 @@
+// Plain-text serialization of trained approximate MLPs so Pareto designs
+// survive the training session (the paper's flow hands them from training
+// to synthesis as artifacts). Format: a versioned, line-oriented text file —
+// stable, diffable, and independent of float formatting:
+//
+//   pmlp-approx-mlp v1
+//   topology 10 3 2
+//   bits 8 4 8 12
+//   layer 0
+//   conn <out> <in> <mask> <sign> <exponent>
+//   ...
+//   bias <out> <value>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pmlp/core/approx_mlp.hpp"
+
+namespace pmlp::core {
+
+/// Write the model (parameters + bit config). Throws on stream failure.
+void save_model(const ApproxMlp& net, std::ostream& os);
+[[nodiscard]] std::string to_text(const ApproxMlp& net);
+
+/// Parse a model written by save_model. Throws std::invalid_argument on
+/// malformed input (wrong magic/version, shape mismatch, out-of-range
+/// parameters).
+[[nodiscard]] ApproxMlp load_model(std::istream& is);
+[[nodiscard]] ApproxMlp from_text(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_model_file(const ApproxMlp& net, const std::string& path);
+[[nodiscard]] ApproxMlp load_model_file(const std::string& path);
+
+}  // namespace pmlp::core

@@ -1,0 +1,119 @@
+#include "pmlp/core/trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::core {
+
+namespace {
+
+std::vector<EstimatedPoint> collect_front(
+    const ChromosomeCodec& codec, const std::vector<nsga2::Individual>& front) {
+  std::vector<EstimatedPoint> points;
+  points.reserve(front.size());
+  for (const auto& ind : front) {
+    EstimatedPoint p;
+    p.model = codec.decode(ind.genes);
+    p.train_accuracy = 1.0 - ind.objectives[0];
+    p.fa_area = static_cast<long>(ind.objectives[1]);
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const EstimatedPoint& a, const EstimatedPoint& b) {
+              return a.fa_area < b.fa_area;
+            });
+  return points;
+}
+
+}  // namespace
+
+TrainingResult train_ga_axc(const mlp::Topology& topology,
+                            const datasets::QuantizedDataset& train,
+                            std::optional<mlp::QuantMlp> baseline,
+                            const TrainerConfig& cfg) {
+  ChromosomeCodec codec(topology, cfg.bits);
+  HwAwareProblem problem(codec, train, std::move(baseline), cfg.problem);
+
+  const nsga2::Result ga = nsga2::optimize(problem, cfg.ga);
+
+  TrainingResult result;
+  result.estimated_pareto = collect_front(problem.codec(), ga.pareto_front);
+  result.evaluations = ga.evaluations;
+  result.wall_seconds = ga.wall_seconds;
+  result.baseline_train_accuracy = problem.baseline_accuracy();
+  return result;
+}
+
+namespace {
+
+/// Accuracy-only GA problem (Table III reference): the same chromosome but
+/// with every mask gene pinned to all-ones and a constant area objective —
+/// conventional GA training without approximation or hardware awareness.
+class AccuracyOnlyProblem final : public nsga2::Problem {
+ public:
+  AccuracyOnlyProblem(ChromosomeCodec codec,
+                      const datasets::QuantizedDataset& train)
+      : codec_(std::move(codec)), train_(train) {}
+
+  [[nodiscard]] int n_genes() const override { return codec_.n_genes(); }
+
+  [[nodiscard]] nsga2::GeneBounds bounds(int gene) const override {
+    const auto b = codec_.bounds(gene);
+    if (is_mask_gene(gene)) return {b.hi, b.hi};  // pinned: no pruning
+    return b;
+  }
+
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override {
+    std::vector<int> pinned(genes.begin(), genes.end());
+    for (int g = 0; g < codec_.n_genes(); ++g) {
+      if (is_mask_gene(g)) pinned[static_cast<std::size_t>(g)] = codec_.bounds(g).hi;
+    }
+    const ApproxMlp net = codec_.decode(pinned);
+    return {{1.0 - accuracy(net, train_), 0.0}, 0.0};
+  }
+
+  [[nodiscard]] const ChromosomeCodec& codec() const { return codec_; }
+
+ private:
+  /// Gene layout per neuron: n_in * (mask, sign, k) then bias. Mask genes
+  /// are those at stride-3 offsets within the weight block.
+  [[nodiscard]] bool is_mask_gene(int gene) const {
+    int g = gene;
+    const auto& topo = codec_.topology();
+    for (int l = 0; l < topo.n_layers(); ++l) {
+      const int n_in = topo.layers[static_cast<std::size_t>(l)];
+      const int n_out = topo.layers[static_cast<std::size_t>(l) + 1];
+      const int per_neuron = 3 * n_in + 1;
+      const int layer_genes = per_neuron * n_out;
+      if (g < layer_genes) {
+        const int in_neuron = g % per_neuron;
+        return in_neuron < 3 * n_in && in_neuron % 3 == 0;
+      }
+      g -= layer_genes;
+    }
+    return false;
+  }
+
+  ChromosomeCodec codec_;
+  const datasets::QuantizedDataset& train_;
+};
+
+}  // namespace
+
+TrainingResult train_ga_accuracy_only(const mlp::Topology& topology,
+                                      const datasets::QuantizedDataset& train,
+                                      const TrainerConfig& cfg) {
+  ChromosomeCodec codec(topology, cfg.bits);
+  AccuracyOnlyProblem problem(std::move(codec), train);
+  const nsga2::Result ga = nsga2::optimize(problem, cfg.ga);
+
+  TrainingResult result;
+  result.estimated_pareto = collect_front(problem.codec(), ga.pareto_front);
+  result.evaluations = ga.evaluations;
+  result.wall_seconds = ga.wall_seconds;
+  return result;
+}
+
+}  // namespace pmlp::core

@@ -1,0 +1,48 @@
+// The framework of Fig. 2: discrete genetic-based hardware-aware training.
+// Runs NSGA-II over the chromosome space (masks, signs, exponents, biases),
+// returns the estimated accuracy-area Pareto set of approximate MLPs, and
+// (together with hardware_analysis.hpp) the hardware-evaluated true front.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pmlp/core/problem.hpp"
+
+namespace pmlp::core {
+
+struct TrainerConfig {
+  nsga2::Config ga;        ///< population/generations/operators
+  BitConfig bits;          ///< weight/input/activation/bias widths
+  ProblemConfig problem;   ///< loss bound + doping
+};
+
+/// One point of the estimated Pareto set (training-time objectives).
+struct EstimatedPoint {
+  ApproxMlp model;
+  double train_accuracy = 0.0;
+  long fa_area = 0;
+};
+
+struct TrainingResult {
+  std::vector<EstimatedPoint> estimated_pareto;  ///< sorted by area ascending
+  long evaluations = 0;
+  double wall_seconds = 0.0;
+  double baseline_train_accuracy = 0.0;
+};
+
+/// Train approximate MLPs for `topology` on `train`. `baseline` supplies the
+/// accuracy reference for the 10% bound and the doped seeds (pass the
+/// quantized bespoke baseline [2]).
+[[nodiscard]] TrainingResult train_ga_axc(
+    const mlp::Topology& topology, const datasets::QuantizedDataset& train,
+    std::optional<mlp::QuantMlp> baseline, const TrainerConfig& cfg);
+
+/// Accuracy-only GA training (single objective, no approximations): the
+/// "Exec.Time GA" reference column of Table III. Masks are pinned to
+/// all-ones; area is ignored (objective 2 constant).
+[[nodiscard]] TrainingResult train_ga_accuracy_only(
+    const mlp::Topology& topology, const datasets::QuantizedDataset& train,
+    const TrainerConfig& cfg);
+
+}  // namespace pmlp::core

@@ -1,0 +1,108 @@
+#include "pmlp/datasets/csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmlp::datasets {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, delim)) cells.push_back(cell);
+  return cells;
+}
+
+double parse_number(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    // Allow trailing spaces / '\r' only.
+    for (std::size_t i = used; i < s.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(s[i]))) {
+        throw std::invalid_argument("trailing garbage");
+      }
+    }
+    if (!std::isfinite(v)) throw std::invalid_argument("non-finite");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("csv: bad numeric cell '" + s + "' at line " +
+                                std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+Dataset parse_csv(const std::string& text, const std::string& name,
+                  const CsvOptions& opts) {
+  Dataset out;
+  out.name = name;
+
+  std::stringstream ss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<double> raw_labels;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (opts.has_header && line_no == 1) continue;
+    const auto cells = split_line(line, opts.delimiter);
+    if (cells.size() < 2) {
+      throw std::invalid_argument("csv: need >=2 columns at line " +
+                                  std::to_string(line_no));
+    }
+    const int width = static_cast<int>(cells.size()) - 1;
+    if (out.n_features == 0) {
+      out.n_features = width;
+    } else if (out.n_features != width) {
+      throw std::invalid_argument("csv: ragged row at line " +
+                                  std::to_string(line_no));
+    }
+    for (int j = 0; j < width; ++j) {
+      out.features.push_back(
+          parse_number(cells[static_cast<std::size_t>(j)], line_no));
+    }
+    raw_labels.push_back(parse_number(cells.back(), line_no));
+  }
+  if (raw_labels.empty()) throw std::invalid_argument("csv: no data rows");
+
+  if (opts.reindex_labels) {
+    std::map<long, int> remap;
+    for (double v : raw_labels) remap.emplace(std::lround(v), 0);
+    int next = 0;
+    for (auto& [key, idx] : remap) idx = next++;
+    for (double v : raw_labels) out.labels.push_back(remap.at(std::lround(v)));
+    out.n_classes = next;
+  } else {
+    long max_label = 0;
+    for (double v : raw_labels) {
+      const long y = std::lround(v);
+      if (y < 0) throw std::invalid_argument("csv: negative label");
+      max_label = std::max(max_label, y);
+      out.labels.push_back(static_cast<int>(y));
+    }
+    out.n_classes = static_cast<int>(max_label) + 1;
+  }
+  out.validate();
+  return out;
+}
+
+Dataset load_csv(const std::string& path, const CsvOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto slash = path.find_last_of('/');
+  return parse_csv(buf.str(),
+                   slash == std::string::npos ? path : path.substr(slash + 1),
+                   opts);
+}
+
+}  // namespace pmlp::datasets

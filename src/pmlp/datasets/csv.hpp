@@ -1,0 +1,28 @@
+// Minimal CSV ingestion so the real UCI files can be dropped in to replace
+// the synthetic stand-ins (see DESIGN.md §2). Format: numeric columns, the
+// label in the last column (integer or re-indexed), optional header row.
+#pragma once
+
+#include <string>
+
+#include "pmlp/datasets/dataset.hpp"
+
+namespace pmlp::datasets {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  /// Re-map arbitrary integer labels (e.g. wine quality 3..8) to 0..K-1.
+  bool reindex_labels = true;
+};
+
+/// Parse CSV text into a Dataset (label = last column). Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] Dataset parse_csv(const std::string& text, const std::string& name,
+                                const CsvOptions& opts = {});
+
+/// Load and parse a CSV file. Throws std::runtime_error if unreadable.
+[[nodiscard]] Dataset load_csv(const std::string& path,
+                               const CsvOptions& opts = {});
+
+}  // namespace pmlp::datasets

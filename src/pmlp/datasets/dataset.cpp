@@ -1,0 +1,123 @@
+#include "pmlp/datasets/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+#include "pmlp/bitops/fixed_point.hpp"
+
+namespace pmlp::datasets {
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
+  for (int y : labels) counts[static_cast<std::size_t>(y)] += 1;
+  return counts;
+}
+
+void Dataset::validate() const {
+  if (n_features <= 0) throw std::invalid_argument(name + ": n_features <= 0");
+  if (n_classes <= 1) throw std::invalid_argument(name + ": n_classes <= 1");
+  if (features.size() != labels.size() * static_cast<std::size_t>(n_features)) {
+    throw std::invalid_argument(name + ": features/labels size mismatch");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= n_classes) {
+      throw std::invalid_argument(name + ": label out of range");
+    }
+  }
+  for (double x : features) {
+    if (!std::isfinite(x)) throw std::invalid_argument(name + ": non-finite feature");
+  }
+}
+
+void normalize_min_max(Dataset& d) {
+  const auto n = d.size();
+  const auto f = static_cast<std::size_t>(d.n_features);
+  for (std::size_t j = 0; j < f; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = d.features[i * f + j];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double range = hi - lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      double& v = d.features[i * f + j];
+      v = range > 0 ? (v - lo) / range : 0.0;
+    }
+  }
+}
+
+SplitResult stratified_split(const Dataset& d, double train_fraction,
+                             std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: fraction out of (0,1)");
+  }
+  std::mt19937_64 rng(seed);
+
+  // Bucket sample indices per class, shuffle each bucket, cut per class.
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(d.n_classes));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    buckets[static_cast<std::size_t>(d.labels[i])].push_back(i);
+  }
+
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (auto& bucket : buckets) {
+    std::shuffle(bucket.begin(), bucket.end(), rng);
+    if (bucket.empty()) continue;
+    auto n_train = static_cast<std::size_t>(
+        std::lround(train_fraction * static_cast<double>(bucket.size())));
+    // Keep at least one sample on each side when the class allows it.
+    if (bucket.size() >= 2) {
+      n_train = std::clamp<std::size_t>(n_train, 1, bucket.size() - 1);
+    } else {
+      n_train = 1;  // singleton classes go to train
+    }
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      (k < n_train ? train_idx : test_idx).push_back(bucket[k]);
+    }
+  }
+  std::shuffle(train_idx.begin(), train_idx.end(), rng);
+  std::shuffle(test_idx.begin(), test_idx.end(), rng);
+
+  auto take = [&](const std::vector<std::size_t>& idx, const char* suffix) {
+    Dataset out;
+    out.name = d.name + suffix;
+    out.n_features = d.n_features;
+    out.n_classes = d.n_classes;
+    out.features.reserve(idx.size() * static_cast<std::size_t>(d.n_features));
+    out.labels.reserve(idx.size());
+    for (std::size_t i : idx) {
+      const auto r = d.row(i);
+      out.features.insert(out.features.end(), r.begin(), r.end());
+      out.labels.push_back(d.labels[i]);
+    }
+    return out;
+  };
+  return {take(train_idx, "/train"), take(test_idx, "/test")};
+}
+
+QuantizedDataset quantize_inputs(const Dataset& d, int bits) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("quantize_inputs: bits out of [1,8]");
+  }
+  bitops::UnsignedQuantizer q{bits};
+  QuantizedDataset out;
+  out.name = d.name;
+  out.n_features = d.n_features;
+  out.n_classes = d.n_classes;
+  out.input_bits = bits;
+  out.labels = d.labels;
+  out.codes.reserve(d.features.size());
+  for (double x : d.features) {
+    out.codes.push_back(static_cast<std::uint8_t>(q.quantize(x)));
+  }
+  return out;
+}
+
+}  // namespace pmlp::datasets

@@ -1,0 +1,72 @@
+// Tabular classification datasets as consumed by every trainer in this repo:
+// features normalized to [0,1] (as in the paper), integer class labels, and
+// helpers for the paper's stratified 70/30 train/test protocol and the 4-bit
+// input quantization of bespoke printed MLPs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmlp::datasets {
+
+/// Dense tabular dataset. Row-major: sample i occupies
+/// features[i*n_features .. (i+1)*n_features).
+struct Dataset {
+  std::string name;
+  int n_features = 0;
+  int n_classes = 0;
+  std::vector<double> features;  ///< row-major, expected in [0,1] after normalize()
+  std::vector<int> labels;       ///< one label in [0, n_classes) per sample
+
+  [[nodiscard]] std::size_t size() const {
+    return labels.size();
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {features.data() + i * static_cast<std::size_t>(n_features),
+            static_cast<std::size_t>(n_features)};
+  }
+  /// Per-class sample counts (size n_classes).
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+  /// Throws std::invalid_argument if sizes/labels/ranges are inconsistent.
+  void validate() const;
+};
+
+/// Min-max normalize each feature column to [0,1] in place (paper §V-A).
+/// Constant columns map to 0.
+void normalize_min_max(Dataset& d);
+
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random stratified split preserving per-class proportions (paper §V-A:
+/// 70%/30% "ensuring a balanced distribution of each target class").
+/// Every class contributes at least one sample to each side when it has >=2.
+[[nodiscard]] SplitResult stratified_split(const Dataset& d,
+                                           double train_fraction,
+                                           std::uint64_t seed);
+
+/// Dataset with inputs quantized to `bits`-bit unsigned codes, the form the
+/// bespoke hardware actually sees (4-bit inputs throughout the paper).
+struct QuantizedDataset {
+  std::string name;
+  int n_features = 0;
+  int n_classes = 0;
+  int input_bits = 4;
+  std::vector<std::uint8_t> codes;  ///< row-major
+  std::vector<int> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t i) const {
+    return {codes.data() + i * static_cast<std::size_t>(n_features),
+            static_cast<std::size_t>(n_features)};
+  }
+};
+
+/// Quantize normalized features to `bits`-bit codes.
+[[nodiscard]] QuantizedDataset quantize_inputs(const Dataset& d, int bits);
+
+}  // namespace pmlp::datasets

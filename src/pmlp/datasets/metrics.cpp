@@ -1,0 +1,97 @@
+#include "pmlp/datasets/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pmlp::datasets {
+
+std::vector<double> class_centroids(const Dataset& d) {
+  const auto F = static_cast<std::size_t>(d.n_features);
+  const auto C = static_cast<std::size_t>(d.n_classes);
+  std::vector<double> centroids(C * F, 0.0);
+  const auto counts = d.class_counts();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto row = d.row(i);
+    const auto y = static_cast<std::size_t>(d.labels[i]);
+    for (std::size_t j = 0; j < F; ++j) centroids[y * F + j] += row[j];
+  }
+  for (std::size_t c = 0; c < C; ++c) {
+    const auto n = std::max<std::size_t>(counts[c], 1);
+    for (std::size_t j = 0; j < F; ++j) {
+      centroids[c * F + j] /= static_cast<double>(n);
+    }
+  }
+  return centroids;
+}
+
+DatasetMetrics compute_metrics(const Dataset& d) {
+  DatasetMetrics m;
+  const auto F = static_cast<std::size_t>(d.n_features);
+  const auto C = static_cast<std::size_t>(d.n_classes);
+  const auto counts = d.class_counts();
+
+  m.class_priors.resize(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    m.class_priors[c] =
+        static_cast<double>(counts[c]) / static_cast<double>(d.size());
+  }
+
+  const auto centroids = class_centroids(d);
+
+  // Nearest-centroid resubstitution accuracy.
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto row = d.row(i);
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < C; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < F; ++j) {
+        const double delta = row[j] - centroids[c * F + j];
+        dist += delta * delta;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (static_cast<int>(best) == d.labels[i]) ++hits;
+  }
+  m.nearest_centroid_accuracy =
+      static_cast<double>(hits) / static_cast<double>(d.size());
+
+  // Fisher scores: between-class variance of means / pooled within var.
+  m.fisher_scores.assign(F, 0.0);
+  for (std::size_t j = 0; j < F; ++j) {
+    double grand_mean = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) grand_mean += d.row(i)[j];
+    grand_mean /= static_cast<double>(d.size());
+
+    double between = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      const double delta = centroids[c * F + j] - grand_mean;
+      between += m.class_priors[c] * delta * delta;
+    }
+    double within = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const auto y = static_cast<std::size_t>(d.labels[i]);
+      const double delta = d.row(i)[j] - centroids[y * F + j];
+      within += delta * delta;
+    }
+    within /= static_cast<double>(d.size());
+    m.fisher_scores[j] = within > 1e-12 ? between / within : 0.0;
+  }
+
+  auto sorted = m.fisher_scores;
+  std::sort(sorted.rbegin(), sorted.rend());
+  double total = 0.0, top3 = 0.0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    total += sorted[j];
+    if (j < 3) top3 += sorted[j];
+  }
+  m.top3_signal_share = total > 1e-12 ? top3 / total : 0.0;
+  return m;
+}
+
+}  // namespace pmlp::datasets

@@ -1,0 +1,29 @@
+// Dataset diagnostics used to calibrate the synthetic stand-ins against the
+// real UCI datasets: class priors, nearest-centroid separability (a cheap
+// upper-bound-ish proxy for how well a tiny MLP can do), and per-feature
+// signal strength (Fisher-style score) — which determines how far the GA
+// can prune before accuracy collapses.
+#pragma once
+
+#include <vector>
+
+#include "pmlp/datasets/dataset.hpp"
+
+namespace pmlp::datasets {
+
+struct DatasetMetrics {
+  std::vector<double> class_priors;      ///< fraction per class
+  double nearest_centroid_accuracy = 0;  ///< resubstitution accuracy
+  /// Fisher score per feature: between-class variance of the class means
+  /// over the pooled within-class variance. Higher = more informative.
+  std::vector<double> fisher_scores;
+  /// Fraction of total Fisher mass carried by the top-k features.
+  double top3_signal_share = 0.0;
+};
+
+[[nodiscard]] DatasetMetrics compute_metrics(const Dataset& d);
+
+/// Per-class feature means (n_classes x n_features, row-major).
+[[nodiscard]] std::vector<double> class_centroids(const Dataset& d);
+
+}  // namespace pmlp::datasets

@@ -1,0 +1,56 @@
+// Deterministic synthetic stand-ins for the paper's five UCI datasets
+// (Breast Cancer, Cardiotocography, Pendigits, RedWine, WhiteWine).
+//
+// The real UCI files are not shipped here, so each generator reproduces the
+// *shape* that drives the paper's experiments: feature count, class count,
+// class priors and classification difficulty (calibrated so a float MLP with
+// the paper's topology lands near the Table I baseline accuracy). Samples are
+// drawn from per-class Gaussian mixtures whose inter-class separation is the
+// difficulty knob. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmlp/datasets/dataset.hpp"
+
+namespace pmlp::datasets {
+
+/// Recipe for one synthetic dataset.
+struct SyntheticSpec {
+  std::string name;
+  int n_features = 0;
+  int n_classes = 0;
+  std::size_t n_samples = 0;
+  std::vector<double> class_priors;  ///< sums to ~1; size n_classes
+  int clusters_per_class = 1;        ///< Gaussian modes per class
+  double separation = 2.0;           ///< inter-class mean distance / sigma
+  double noise_sigma = 1.0;          ///< per-dimension Gaussian noise
+  /// Fraction of features that carry no class signal (pure noise columns) —
+  /// wine-quality-style datasets have many weakly informative features.
+  double nuisance_fraction = 0.0;
+  /// Exponential decay of per-feature signal: feature j's share of the
+  /// class signal scales with exp(-concentration * j). Real UCI tables have
+  /// a few dominant columns (which is what lets the paper's GA prune MLPs
+  /// down to a handful of wires); 0 = uniform signal.
+  double feature_concentration = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Draw a dataset from the spec (deterministic in spec.seed) and min-max
+/// normalize it to [0,1].
+[[nodiscard]] Dataset generate(const SyntheticSpec& spec);
+
+/// The paper's five benchmark datasets (Table I order) with difficulty
+/// calibrated against the reported baseline accuracies.
+[[nodiscard]] SyntheticSpec breast_cancer_spec();   // (10,3,2),  acc ~0.98
+[[nodiscard]] SyntheticSpec cardio_spec();          // (21,3,3),  acc ~0.88
+[[nodiscard]] SyntheticSpec pendigits_spec();       // (16,5,10), acc ~0.94
+[[nodiscard]] SyntheticSpec red_wine_spec();        // (11,2,6),  acc ~0.56
+[[nodiscard]] SyntheticSpec white_wine_spec();      // (11,4,7),  acc ~0.54
+
+/// All five specs in Table I order.
+[[nodiscard]] std::vector<SyntheticSpec> paper_suite();
+
+}  // namespace pmlp::datasets

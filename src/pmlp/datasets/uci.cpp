@@ -1,0 +1,97 @@
+#include "pmlp/datasets/uci.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pmlp/datasets/csv.hpp"
+
+namespace pmlp::datasets {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("uci: cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Drop rows containing '?' (missing values in the WBC file).
+std::string drop_missing_rows(const std::string& text) {
+  std::stringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find('?') == std::string::npos && !line.empty()) {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+/// Remove the first column (sample ids) from every row.
+std::string drop_first_column(const std::string& text, char delim) {
+  std::stringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find(delim);
+    if (pos == std::string::npos) continue;
+    out << line.substr(pos + 1) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+Dataset load_uci_breast_cancer(const std::string& path) {
+  CsvOptions opts;
+  opts.delimiter = ',';
+  opts.reindex_labels = true;  // {2,4} -> {0,1}
+  auto text = drop_first_column(drop_missing_rows(read_file(path)), ',');
+  auto d = parse_csv(text, "BreastCancer", opts);
+  normalize_min_max(d);
+  return d;
+}
+
+Dataset load_uci_cardio(const std::string& path) {
+  CsvOptions opts;
+  opts.delimiter = ',';
+  opts.has_header = true;
+  opts.reindex_labels = true;  // NSP {1,2,3} -> {0,1,2}
+  auto d = parse_csv(read_file(path), "Cardio", opts);
+  normalize_min_max(d);
+  return d;
+}
+
+Dataset load_uci_pendigits(const std::string& path) {
+  CsvOptions opts;
+  opts.delimiter = ',';
+  opts.reindex_labels = false;  // already 0..9
+  auto d = parse_csv(read_file(path), "Pendigits", opts);
+  normalize_min_max(d);
+  return d;
+}
+
+Dataset load_uci_wine(const std::string& path, const std::string& name) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  opts.has_header = true;
+  opts.reindex_labels = true;  // quality 3..9 -> 0..K-1
+  auto d = parse_csv(read_file(path), name, opts);
+  normalize_min_max(d);
+  return d;
+}
+
+Dataset load_uci(const std::string& dataset_name, const std::string& path) {
+  if (dataset_name == "BreastCancer") return load_uci_breast_cancer(path);
+  if (dataset_name == "Cardio") return load_uci_cardio(path);
+  if (dataset_name == "Pendigits") return load_uci_pendigits(path);
+  if (dataset_name == "RedWine") return load_uci_wine(path, "RedWine");
+  if (dataset_name == "WhiteWine") return load_uci_wine(path, "WhiteWine");
+  throw std::runtime_error("uci: unknown dataset " + dataset_name);
+}
+
+}  // namespace pmlp::datasets

@@ -1,0 +1,35 @@
+// Loaders for the real UCI files the paper evaluates on, so the synthetic
+// stand-ins can be swapped out when the data is available locally. Each
+// loader knows its file's quirks (delimiter, header, label column/offset)
+// and produces the same normalized Dataset shape the rest of the pipeline
+// consumes. Files are NOT bundled (UCI licensing); pass local paths.
+#pragma once
+
+#include <string>
+
+#include "pmlp/datasets/dataset.hpp"
+
+namespace pmlp::datasets {
+
+/// breast-cancer-wisconsin.data: id column dropped, '?' rows skipped,
+/// labels {2,4} -> {0,1}, 9 features.
+[[nodiscard]] Dataset load_uci_breast_cancer(const std::string& path);
+
+/// Cardiotocography NSP export (CSV with header): 21 features, labels
+/// {1,2,3} -> {0,1,2}.
+[[nodiscard]] Dataset load_uci_cardio(const std::string& path);
+
+/// pendigits.{tra,tes} (comma separated): 16 features, labels 0-9.
+[[nodiscard]] Dataset load_uci_pendigits(const std::string& path);
+
+/// winequality-red.csv / winequality-white.csv: ';' delimited with header,
+/// 11 features, quality labels re-indexed to 0..K-1.
+[[nodiscard]] Dataset load_uci_wine(const std::string& path,
+                                    const std::string& name);
+
+/// Generic dispatcher by Table I dataset name; throws std::runtime_error
+/// if the file cannot be read.
+[[nodiscard]] Dataset load_uci(const std::string& dataset_name,
+                               const std::string& path);
+
+}  // namespace pmlp::datasets

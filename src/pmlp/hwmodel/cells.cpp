@@ -1,0 +1,69 @@
+#include "pmlp/hwmodel/cells.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmlp::hwmodel {
+
+std::string_view cell_name(CellType t) {
+  switch (t) {
+    case CellType::kNot: return "NOT";
+    case CellType::kBuf: return "BUF";
+    case CellType::kNand2: return "NAND2";
+    case CellType::kNor2: return "NOR2";
+    case CellType::kAnd2: return "AND2";
+    case CellType::kOr2: return "OR2";
+    case CellType::kXor2: return "XOR2";
+    case CellType::kXnor2: return "XNOR2";
+    case CellType::kHalfAdder: return "HA";
+    case CellType::kFullAdder: return "FA";
+    case CellType::kMux2: return "MUX2";
+    case CellType::kDff: return "DFF";
+    case CellType::kCount: break;
+  }
+  throw std::invalid_argument("cell_name: bad cell type");
+}
+
+const CellLibrary& CellLibrary::egfet_1v() {
+  // Calibration note (DESIGN.md §2): printed EGFET gates are hundreds of
+  // micrometers on a side and draw microwatts of mostly-static current.
+  // These numbers were fitted so that the exact bespoke 8-bit-weight MLPs
+  // of Table I land near the published ~12-67 cm2 / 40-213 mW range; the
+  // *relative* costs between cell types follow transistor counts.
+  static const CellLibrary lib(
+      {{
+          /*kNot*/ {0.11, 3.9, 0.35},
+          /*kBuf*/ {0.15, 5.2, 0.45},
+          /*kNand2*/ {0.20, 7.2, 0.50},
+          /*kNor2*/ {0.20, 7.2, 0.50},
+          /*kAnd2*/ {0.26, 9.1, 0.70},
+          /*kOr2*/ {0.26, 9.1, 0.70},
+          /*kXor2*/ {0.42, 15.0, 0.95},
+          /*kXnor2*/ {0.42, 15.0, 0.95},
+          /*kHalfAdder*/ {0.68, 24.0, 1.10},
+          /*kFullAdder*/ {1.90, 71.5, 1.60},
+          /*kMux2*/ {0.45, 14.3, 0.80},
+          /*kDff*/ {1.10, 31.2, 1.50},
+      }},
+      1.0);
+  return lib;
+}
+
+CellLibrary CellLibrary::at_voltage(double v) const {
+  if (v < 0.55 || v > 1.05) {
+    throw std::invalid_argument(
+        "CellLibrary::at_voltage: EGFET operates in [0.6, 1.0] V");
+  }
+  const double ratio = v / supply_v_;
+  const double power_scale = std::pow(ratio, 3.0);
+  const double delay_scale = 1.0 / (ratio * ratio);
+  std::array<CellParams, kNumCellTypes> scaled{};
+  for (std::size_t i = 0; i < kNumCellTypes; ++i) {
+    scaled[i].area_mm2 = params_[i].area_mm2;
+    scaled[i].power_uw = params_[i].power_uw * power_scale;
+    scaled[i].delay_us = params_[i].delay_us * delay_scale;
+  }
+  return CellLibrary(scaled, v);
+}
+
+}  // namespace pmlp::hwmodel

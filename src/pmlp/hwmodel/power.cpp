@@ -1,0 +1,48 @@
+#include "pmlp/hwmodel/power.hpp"
+
+#include <stdexcept>
+
+namespace pmlp::hwmodel {
+
+const std::vector<PowerSource>& printed_power_sources() {
+  static const std::vector<PowerSource> sources = {
+      {"Printed energy harvester", 2.0},
+      {"Blue Spark", 5.0},
+      {"Zinergy", 15.0},
+      {"Molex", 30.0},
+  };
+  return sources;
+}
+
+std::string_view zone_name(FeasibilityZone z) {
+  switch (z) {
+    case FeasibilityZone::kHarvester: return "Harvester";
+    case FeasibilityZone::kBlueSpark5mW: return "Blue Spark 5mW";
+    case FeasibilityZone::kZinergy15mW: return "Zinergy 15mW";
+    case FeasibilityZone::kMolex30mW: return "Molex 30mW";
+    case FeasibilityZone::kNoPowerSource: return "No adequate power supply";
+    case FeasibilityZone::kUnsustainableArea: return "Unsustainable area";
+  }
+  throw std::invalid_argument("zone_name: bad zone");
+}
+
+FeasibilityZone classify_feasibility(double area_cm2, double power_mw,
+                                     const FeasibilityPolicy& policy) {
+  if (area_cm2 > policy.sustainable_area_cm2) {
+    return FeasibilityZone::kUnsustainableArea;
+  }
+  if (power_mw <= policy.harvester_mw) return FeasibilityZone::kHarvester;
+  if (power_mw <= 5.0) return FeasibilityZone::kBlueSpark5mW;
+  if (power_mw <= 15.0) return FeasibilityZone::kZinergy15mW;
+  if (power_mw <= 30.0) return FeasibilityZone::kMolex30mW;
+  return FeasibilityZone::kNoPowerSource;
+}
+
+std::optional<PowerSource> smallest_adequate_source(double power_mw) {
+  for (const auto& s : printed_power_sources()) {
+    if (power_mw <= s.max_power_mw) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmlp::hwmodel

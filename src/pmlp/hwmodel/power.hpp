@@ -1,0 +1,49 @@
+// Printed power sources and the Fig. 5 feasibility classification: which
+// printed battery / energy harvester (if any) can drive a circuit, and
+// whether its area is sustainable for printed applications.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pmlp/hwmodel/cells.hpp"
+
+namespace pmlp::hwmodel {
+
+/// The printed power sources the paper evaluates against (§V-C).
+struct PowerSource {
+  std::string name;
+  double max_power_mw = 0.0;
+};
+
+/// Sources in ascending capacity: printed energy harvester, Blue Spark 5 mW,
+/// Zinergy 15 mW, Molex 30 mW.
+[[nodiscard]] const std::vector<PowerSource>& printed_power_sources();
+
+/// Fig. 5 zone thresholds.
+struct FeasibilityPolicy {
+  double sustainable_area_cm2 = 20.0;  ///< beyond this: "unsustainable area"
+  double harvester_mw = 2.0;           ///< printed energy-harvester budget
+};
+
+enum class FeasibilityZone {
+  kHarvester,       ///< self-powered (green zone)
+  kBlueSpark5mW,
+  kZinergy15mW,
+  kMolex30mW,
+  kNoPowerSource,   ///< no adequate printed supply
+  kUnsustainableArea,
+};
+
+[[nodiscard]] std::string_view zone_name(FeasibilityZone z);
+
+/// Classify a circuit by area and power draw (paper Fig. 5).
+[[nodiscard]] FeasibilityZone classify_feasibility(
+    double area_cm2, double power_mw, const FeasibilityPolicy& policy = {});
+
+/// Smallest printed source able to power `power_mw`, if any.
+[[nodiscard]] std::optional<PowerSource> smallest_adequate_source(
+    double power_mw);
+
+}  // namespace pmlp::hwmodel

@@ -1,0 +1,58 @@
+#include "pmlp/hwmodel/timing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmlp::hwmodel {
+
+namespace {
+
+// Must mirror CellLibrary::at_voltage: delay x 1/v^2, power x v^3.
+double delay_scale(double v) { return 1.0 / (v * v); }
+double power_scale(double v) { return v * v * v; }
+
+}  // namespace
+
+bool meets_clock(const CircuitCost& cost_at_1v, double v, double clock_ms) {
+  if (v < kEgfetMinVoltage - 1e-9 || v > kEgfetMaxVoltage + 1e-9) {
+    throw std::invalid_argument("meets_clock: voltage outside EGFET range");
+  }
+  const double delay_us = cost_at_1v.critical_delay_us * delay_scale(v);
+  return delay_us <= clock_ms * 1000.0;
+}
+
+double min_feasible_voltage(const CircuitCost& cost_at_1v, double clock_ms) {
+  if (clock_ms <= 0.0) {
+    throw std::invalid_argument("min_feasible_voltage: bad clock");
+  }
+  if (meets_clock(cost_at_1v, kEgfetMinVoltage, clock_ms)) {
+    return kEgfetMinVoltage;
+  }
+  if (!meets_clock(cost_at_1v, kEgfetMaxVoltage, clock_ms)) {
+    // Even nominal supply misses timing: report nominal (caller decides).
+    return kEgfetMaxVoltage;
+  }
+  double lo = kEgfetMinVoltage;  // fails
+  double hi = kEgfetMaxVoltage;  // meets
+  while (hi - lo > 0.005) {
+    const double mid = 0.5 * (lo + hi);
+    if (meets_clock(cost_at_1v, mid, clock_ms)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+VoltageScalingResult scale_to_min_voltage(const CircuitCost& cost_at_1v,
+                                          double clock_ms) {
+  VoltageScalingResult r;
+  r.voltage = min_feasible_voltage(cost_at_1v, clock_ms);
+  r.power_uw = cost_at_1v.power_uw * power_scale(r.voltage);
+  r.delay_us = cost_at_1v.critical_delay_us * delay_scale(r.voltage);
+  r.slack_ms = clock_ms - r.delay_us / 1000.0;
+  return r;
+}
+
+}  // namespace pmlp::hwmodel

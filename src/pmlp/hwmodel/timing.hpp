@@ -1,0 +1,38 @@
+// Timing/voltage co-analysis for §V-C of the paper: approximate MLPs are
+// *faster* than their exact baselines (shorter critical paths), so their
+// supply can be scaled down until the critical path just meets the clock —
+// or the baseline's latency — harvesting additional power savings.
+#pragma once
+
+#include "pmlp/hwmodel/cells.hpp"
+
+namespace pmlp::hwmodel {
+
+inline constexpr double kEgfetMinVoltage = 0.6;  ///< [20]: EGFET floor
+inline constexpr double kEgfetMaxVoltage = 1.0;
+
+/// True if the circuit meets the clock at supply `v` (delay scales as the
+/// library's at_voltage model).
+[[nodiscard]] bool meets_clock(const CircuitCost& cost_at_1v, double v,
+                               double clock_ms);
+
+/// Lowest EGFET-supported supply at which `cost_at_1v`'s critical path
+/// still fits `clock_ms` (binary search over the delay scaling, resolution
+/// 0.005 V). Returns kEgfetMinVoltage when even the floor meets timing —
+/// the common case at printed 200 ms clocks.
+[[nodiscard]] double min_feasible_voltage(const CircuitCost& cost_at_1v,
+                                          double clock_ms);
+
+/// §V-C headline: power of the circuit when the supply is dropped to the
+/// minimum feasible voltage for `clock_ms` (power scales as the library's
+/// at_voltage model: ~V^3).
+struct VoltageScalingResult {
+  double voltage = kEgfetMaxVoltage;
+  double power_uw = 0.0;
+  double delay_us = 0.0;
+  double slack_ms = 0.0;  ///< clock - scaled delay
+};
+[[nodiscard]] VoltageScalingResult scale_to_min_voltage(
+    const CircuitCost& cost_at_1v, double clock_ms);
+
+}  // namespace pmlp::hwmodel

@@ -1,0 +1,44 @@
+// Mini-batch SGD with momentum on softmax cross-entropy — the conventional
+// gradient-based training the paper compares against in Table III.
+#pragma once
+
+#include <cstdint>
+
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/mlp/float_mlp.hpp"
+
+namespace pmlp::mlp {
+
+struct BackpropConfig {
+  int epochs = 300;
+  int batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double lr_decay = 0.995;   ///< multiplicative per-epoch decay
+  double l2 = 1e-5;          ///< weight decay
+  /// Gradient passed through inactive ReLUs (forward stays exact ReLU);
+  /// keeps 2-5-neuron hidden layers from dying irrecoverably.
+  double relu_leak = 0.05;
+  /// train_float_mlp() trains `restarts` nets from different seeds and
+  /// keeps the most accurate — cheap insurance for tiny topologies.
+  int restarts = 3;
+  std::uint64_t seed = 1;
+};
+
+struct BackpropReport {
+  double final_train_accuracy = 0.0;
+  double final_loss = 0.0;
+  int epochs_run = 0;
+  double wall_seconds = 0.0;  ///< measured training time (Table III)
+};
+
+/// Train `net` in place; returns a report with the wall time.
+BackpropReport train_backprop(FloatMlp& net, const datasets::Dataset& train,
+                              const BackpropConfig& cfg);
+
+/// Convenience: init + train + return the trained network.
+[[nodiscard]] FloatMlp train_float_mlp(const Topology& topology,
+                                       const datasets::Dataset& train,
+                                       const BackpropConfig& cfg);
+
+}  // namespace pmlp::mlp

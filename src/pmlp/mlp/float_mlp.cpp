@@ -1,0 +1,72 @@
+#include "pmlp/mlp/float_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace pmlp::mlp {
+
+FloatMlp::FloatMlp(const Topology& topology, std::uint64_t seed)
+    : topology_(topology) {
+  if (topology.layers.size() < 2) {
+    throw std::invalid_argument("FloatMlp: topology needs >=2 layers");
+  }
+  std::mt19937_64 rng(seed);
+  for (int l = 0; l < topology.n_layers(); ++l) {
+    DenseLayer layer;
+    layer.n_in = topology.layers[static_cast<std::size_t>(l)];
+    layer.n_out = topology.layers[static_cast<std::size_t>(l) + 1];
+    const double stddev = std::sqrt(2.0 / layer.n_in);  // He init
+    std::normal_distribution<double> gauss(0.0, stddev);
+    layer.weights.resize(static_cast<std::size_t>(layer.n_in) * layer.n_out);
+    for (double& w : layer.weights) w = gauss(rng);
+    // Slightly positive bias keeps tiny hidden layers (2-5 neurons in
+    // printed MLPs) from being born dead under ReLU.
+    layer.biases.assign(static_cast<std::size_t>(layer.n_out), 0.1);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<std::vector<double>> FloatMlp::forward_trace(
+    std::span<const double> x) const {
+  std::vector<std::vector<double>> trace;
+  trace.reserve(layers_.size() + 1);
+  trace.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    const auto& in = trace.back();
+    std::vector<double> out(static_cast<std::size_t>(layer.n_out));
+    for (int o = 0; o < layer.n_out; ++o) {
+      double acc = layer.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.n_in; ++i) {
+        acc += layer.weight(o, i) * in[static_cast<std::size_t>(i)];
+      }
+      const bool is_last = l + 1 == layers_.size();
+      out[static_cast<std::size_t>(o)] = is_last ? acc : std::max(acc, 0.0);
+    }
+    trace.push_back(std::move(out));
+  }
+  return trace;
+}
+
+std::vector<double> FloatMlp::forward(std::span<const double> x) const {
+  return forward_trace(x).back();
+}
+
+int FloatMlp::predict(std::span<const double> x) const {
+  const auto logits = forward(x);
+  return static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+double accuracy(const FloatMlp& net, const datasets::Dataset& d) {
+  if (d.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (net.predict(d.row(i)) == d.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+}  // namespace pmlp::mlp

@@ -1,0 +1,61 @@
+// Dense floating-point MLP with ReLU hidden layers and a linear output
+// layer (softmax applied by the loss). This is the substrate for
+//  * the gradient-trained reference (Table III "Exec.Time Grad." column),
+//  * the float model that is quantized into the exact bespoke baseline [2].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/mlp/topology.hpp"
+
+namespace pmlp::mlp {
+
+/// One dense layer: row-major weights (n_out x n_in) and biases (n_out).
+struct DenseLayer {
+  int n_in = 0;
+  int n_out = 0;
+  std::vector<double> weights;  ///< weights[o * n_in + i]
+  std::vector<double> biases;
+
+  [[nodiscard]] double weight(int out, int in) const {
+    return weights[static_cast<std::size_t>(out) * n_in + in];
+  }
+  double& weight(int out, int in) {
+    return weights[static_cast<std::size_t>(out) * n_in + in];
+  }
+};
+
+class FloatMlp {
+ public:
+  FloatMlp() = default;
+  /// He-initialized network for the topology (deterministic in `seed`).
+  FloatMlp(const Topology& topology, std::uint64_t seed);
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const std::vector<DenseLayer>& layers() const { return layers_; }
+  [[nodiscard]] std::vector<DenseLayer>& layers() { return layers_; }
+
+  /// Forward pass; returns output-layer logits.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+  /// Forward pass keeping every layer's post-activation (index 0 = input),
+  /// as needed by backprop.
+  [[nodiscard]] std::vector<std::vector<double>> forward_trace(
+      std::span<const double> x) const;
+
+  /// argmax of the logits.
+  [[nodiscard]] int predict(std::span<const double> x) const;
+
+ private:
+  Topology topology_;
+  std::vector<DenseLayer> layers_;
+};
+
+/// Fraction of samples of `d` classified correctly.
+[[nodiscard]] double accuracy(const FloatMlp& net,
+                              const datasets::Dataset& d);
+
+}  // namespace pmlp::mlp

@@ -1,0 +1,136 @@
+#include "pmlp/mlp/quant_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/bitops/fixed_point.hpp"
+
+namespace pmlp::mlp {
+
+QuantMlp QuantMlp::from_float(const FloatMlp& net, int weight_bits,
+                              int input_bits, int activation_bits) {
+  QuantMlp q;
+  q.topology_ = net.topology();
+  q.weight_bits_ = weight_bits;
+  q.activation_bits_ = activation_bits;
+
+  // Real value represented by one unit of the incoming activation code.
+  double x_scale = 1.0 / static_cast<double>((1u << input_bits) - 1u);
+  int in_bits = input_bits;
+
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const DenseLayer& fl = net.layers()[l];
+    const bool is_last = l + 1 == net.layers().size();
+
+    const auto wq = bitops::SignedQuantizer::fit(fl.weights, weight_bits);
+    QuantLayer ql;
+    ql.n_in = fl.n_in;
+    ql.n_out = fl.n_out;
+    ql.input_bits = in_bits;
+    ql.weights.reserve(fl.weights.size());
+    for (double w : fl.weights) ql.weights.push_back(wq.quantize(w));
+
+    // Accumulator scale: one accumulator unit == wq.scale * x_scale reals.
+    const double acc_scale = wq.scale * x_scale;
+    ql.biases.reserve(fl.biases.size());
+    for (double b : fl.biases) {
+      ql.biases.push_back(static_cast<std::int64_t>(std::llround(b / acc_scale)));
+    }
+
+    if (!is_last) {
+      // QReLU shift: map the largest reachable positive accumulator into
+      // `activation_bits` bits (static worst-case range analysis).
+      const std::int64_t x_max = (std::int64_t{1} << in_bits) - 1;
+      std::int64_t acc_max = 0;
+      for (int o = 0; o < ql.n_out; ++o) {
+        std::int64_t pos = std::max<std::int64_t>(ql.biases[static_cast<std::size_t>(o)], 0);
+        for (int i = 0; i < ql.n_in; ++i) {
+          const std::int64_t w = ql.weight(o, i);
+          if (w > 0) pos += w * x_max;
+        }
+        acc_max = std::max(acc_max, pos);
+      }
+      const int acc_w = bitops::bit_width_u(static_cast<std::uint64_t>(acc_max));
+      ql.qrelu_shift = std::max(0, acc_w - activation_bits);
+      // Next layer sees activation codes worth acc_scale * 2^shift reals.
+      x_scale = acc_scale * std::exp2(ql.qrelu_shift);
+      in_bits = activation_bits;
+    }
+    q.layers_.push_back(std::move(ql));
+  }
+  return q;
+}
+
+std::vector<std::int64_t> QuantMlp::forward(
+    std::span<const std::uint8_t> x) const {
+  std::vector<std::int64_t> act(x.begin(), x.end());
+  std::vector<std::int64_t> next;
+  const std::int64_t act_max =
+      (std::int64_t{1} << activation_bits_) - 1;
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantLayer& layer = layers_[l];
+    const bool is_last = l + 1 == layers_.size();
+    next.assign(static_cast<std::size_t>(layer.n_out), 0);
+    for (int o = 0; o < layer.n_out; ++o) {
+      std::int64_t acc = layer.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.n_in; ++i) {
+        acc += static_cast<std::int64_t>(layer.weight(o, i)) *
+               act[static_cast<std::size_t>(i)];
+      }
+      if (!is_last) {
+        // QReLU: clamp-below at 0, shift, clamp-above at 2^bits - 1.
+        acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max);
+      }
+      next[static_cast<std::size_t>(o)] = acc;
+    }
+    act = next;
+  }
+  return act;
+}
+
+int QuantMlp::predict(std::span<const std::uint8_t> x) const {
+  const auto logits = forward(x);
+  return static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+std::vector<adder::NeuronAdderSpec> QuantMlp::adder_specs() const {
+  std::vector<adder::NeuronAdderSpec> specs;
+  for (const auto& layer : layers_) {
+    const auto full_mask = static_cast<std::uint32_t>(
+        bitops::low_mask(layer.input_bits));
+    for (int o = 0; o < layer.n_out; ++o) {
+      adder::NeuronAdderSpec n;
+      n.bias = layer.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.n_in; ++i) {
+        const std::int32_t w = layer.weight(o, i);
+        if (w == 0) continue;
+        const auto mag = static_cast<std::uint64_t>(w < 0 ? -w : w);
+        for (int p : bitops::set_bit_positions(mag)) {
+          adder::SummandSpec s;
+          s.mask = full_mask;
+          s.input_width = layer.input_bits;
+          s.shift = p;
+          s.sign = w < 0 ? -1 : +1;
+          n.summands.push_back(s);
+        }
+      }
+      specs.push_back(std::move(n));
+    }
+  }
+  return specs;
+}
+
+double accuracy(const QuantMlp& net, const datasets::QuantizedDataset& d) {
+  if (d.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (net.predict(d.row(i)) == d.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+}  // namespace pmlp::mlp

@@ -1,0 +1,48 @@
+#include "pmlp/mlp/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pmlp::mlp {
+
+long Topology::n_parameters() const {
+  long total = 0;
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    total += static_cast<long>(layers[l - 1]) * layers[l]  // weights
+             + layers[l];                                  // biases
+  }
+  return total;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (i > 0) os << ',';
+    os << layers[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+const std::vector<PaperBaselineRow>& paper_table1() {
+  // Values transcribed from Table I of the paper. Note the "Parameters"
+  // column counts weights + biases of the topology.
+  static const std::vector<PaperBaselineRow> rows = {
+      {"BreastCancer", {{10, 3, 2}}, 38, 0.980, 12.0, 40.0, 200.0},
+      {"Cardio", {{21, 3, 3}}, 78, 0.881, 33.4, 124.0, 200.0},
+      {"Pendigits", {{16, 5, 10}}, 145, 0.937, 67.0, 213.0, 250.0},
+      {"RedWine", {{11, 2, 6}}, 42, 0.564, 17.6, 73.5, 200.0},
+      {"WhiteWine", {{11, 4, 7}}, 83, 0.537, 31.2, 126.0, 200.0},
+  };
+  return rows;
+}
+
+const PaperBaselineRow& paper_row(const std::string& dataset) {
+  for (const auto& r : paper_table1()) {
+    if (r.dataset == dataset) return r;
+  }
+  throw std::invalid_argument("paper_row: unknown dataset " + dataset);
+}
+
+}  // namespace pmlp::mlp

@@ -1,0 +1,43 @@
+// MLP topology descriptions, including the paper's Table I registry
+// (topology, parameter count, baseline accuracy / area / power as published)
+// used for comparison in every bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmlp::mlp {
+
+/// Layer sizes, inputs first: (10,3,2) = 10 inputs, one hidden layer of 3,
+/// 2 outputs — exactly the notation of Table I.
+struct Topology {
+  std::vector<int> layers;
+
+  [[nodiscard]] int n_inputs() const { return layers.front(); }
+  [[nodiscard]] int n_outputs() const { return layers.back(); }
+  [[nodiscard]] int n_layers() const {  ///< number of weight layers
+    return static_cast<int>(layers.size()) - 1;
+  }
+  /// Weights + biases, the paper's "Parameters" column.
+  [[nodiscard]] long n_parameters() const;
+  [[nodiscard]] std::string to_string() const;  // "(10,3,2)"
+};
+
+/// One row of the paper's Table I (the exact bespoke baseline [2]).
+struct PaperBaselineRow {
+  std::string dataset;
+  Topology topology;
+  long parameters = 0;
+  double accuracy = 0.0;   ///< published baseline accuracy
+  double area_cm2 = 0.0;   ///< published baseline area
+  double power_mw = 0.0;   ///< published baseline power
+  double clock_ms = 200.0; ///< synthesis clock period (250 for Pendigits)
+};
+
+/// Table I, in paper order: BC, Cardio, Pendigits, RedWine, WhiteWine.
+[[nodiscard]] const std::vector<PaperBaselineRow>& paper_table1();
+
+/// Look up a Table I row by dataset name; throws if unknown.
+[[nodiscard]] const PaperBaselineRow& paper_row(const std::string& dataset);
+
+}  // namespace pmlp::mlp

@@ -1,0 +1,115 @@
+#include "pmlp/netlist/activity.hpp"
+
+#include <stdexcept>
+
+namespace pmlp::netlist {
+
+ActivityReport analyze_activity(const Netlist& nl,
+                                const std::vector<std::vector<bool>>& vectors,
+                                const hwmodel::CellLibrary& lib,
+                                double clock_period_ms) {
+  if (vectors.empty()) {
+    throw std::invalid_argument("analyze_activity: no vectors");
+  }
+  if (clock_period_ms <= 0.0) {
+    throw std::invalid_argument("analyze_activity: bad clock period");
+  }
+
+  ActivityReport report;
+  report.vectors = static_cast<long>(vectors.size());
+
+  std::vector<char> prev(static_cast<std::size_t>(nl.n_nets()), 0);
+  std::vector<char> cur(static_cast<std::size_t>(nl.n_nets()), 0);
+  std::vector<long> toggles(static_cast<std::size_t>(nl.n_nets()), 0);
+
+  bool first = true;
+  for (const auto& vec : vectors) {
+    if (vec.size() != nl.inputs().size()) {
+      throw std::invalid_argument("analyze_activity: wrong vector width");
+    }
+    std::fill(cur.begin(), cur.end(), 0);
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      cur[static_cast<std::size_t>(nl.inputs()[i].first)] = vec[i] ? 1 : 0;
+    }
+    nl.evaluate(cur);
+    if (!first) {
+      for (std::size_t n = 0; n < cur.size(); ++n) {
+        if (cur[n] != prev[n]) toggles[n] += 1;
+      }
+    }
+    prev = cur;
+    first = false;
+  }
+
+  // Static power: every cell leaks all the time (EGFET resistive-load
+  // style logic). Dynamic energy per output toggle: the cell's nominal
+  // power integrated over its own propagation delay — a standard
+  // energy-per-transition first-order model.
+  double static_uw = 0.0;
+  double dynamic_uj = 0.0;  // micro-joules over the whole window
+  long total_toggles = 0;
+  for (const auto& g : nl.gates()) {
+    const auto& p = lib.cell(g.type);
+    static_uw += p.power_uw;
+    for (NetId out : g.out) {
+      if (out < 0) continue;
+      const long t = toggles[static_cast<std::size_t>(out)];
+      total_toggles += t;
+      // delay in us, power in uW -> energy in pJ-scale; keep uW*us = pJ
+      // and convert to uJ (1e-6).
+      dynamic_uj += static_cast<double>(t) * p.power_uw * p.delay_us * 1e-6;
+    }
+  }
+
+  const double window_us =
+      clock_period_ms * 1000.0 * static_cast<double>(vectors.size());
+  report.total_toggles = total_toggles;
+  report.toggle_rate =
+      nl.gates().empty()
+          ? 0.0
+          : static_cast<double>(total_toggles) /
+                (static_cast<double>(nl.gates().size()) *
+                 static_cast<double>(vectors.size()));
+  report.static_power_uw = static_uw;
+  report.dynamic_power_uw = dynamic_uj / window_us * 1e6;  // uJ/us -> uW
+  report.total_power_uw = report.static_power_uw + report.dynamic_power_uw;
+  return report;
+}
+
+std::vector<std::vector<bool>> vectors_from_samples(
+    std::span<const Bus> input_buses, const Netlist& nl,
+    std::span<const std::uint8_t> codes_flat, int n_features) {
+  if (n_features <= 0 ||
+      codes_flat.size() % static_cast<std::size_t>(n_features) != 0) {
+    throw std::invalid_argument("vectors_from_samples: bad shape");
+  }
+  if (input_buses.size() != static_cast<std::size_t>(n_features)) {
+    throw std::invalid_argument("vectors_from_samples: bus count mismatch");
+  }
+  // Map net -> position in inputs() order.
+  std::vector<int> pos(static_cast<std::size_t>(nl.n_nets()), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    pos[static_cast<std::size_t>(nl.inputs()[i].first)] = static_cast<int>(i);
+  }
+
+  const std::size_t n_samples =
+      codes_flat.size() / static_cast<std::size_t>(n_features);
+  std::vector<std::vector<bool>> vectors(
+      n_samples, std::vector<bool>(nl.inputs().size(), false));
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    for (int f = 0; f < n_features; ++f) {
+      const std::uint8_t code =
+          codes_flat[s * static_cast<std::size_t>(n_features) +
+                     static_cast<std::size_t>(f)];
+      const Bus& bus = input_buses[static_cast<std::size_t>(f)];
+      for (std::size_t bit = 0; bit < bus.size(); ++bit) {
+        const int p = pos[static_cast<std::size_t>(bus[bit])];
+        if (p < 0) throw std::invalid_argument("vectors_from_samples: bus net is not an input");
+        vectors[s][static_cast<std::size_t>(p)] = ((code >> bit) & 1u) != 0;
+      }
+    }
+  }
+  return vectors;
+}
+
+}  // namespace pmlp::netlist

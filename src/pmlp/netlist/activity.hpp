@@ -1,0 +1,46 @@
+// Switching-activity power analysis — the substitute for the paper's
+// VCS + PrimeTime simulation-based flow. A workload (set of input vectors)
+// is simulated through the netlist; per-net toggle counts yield a dynamic
+// energy estimate on top of the library's static power:
+//
+//   P = P_static + (sum over gates of toggles * E_dyn(gate)) / T_window
+//
+// where E_dyn is derived from the cell's nominal power and delay (the energy
+// a cell burns while switching) and T_window = vectors * clock_period.
+// At printed-electronics clock periods (200 ms) static power dominates, as
+// §II of the paper expects — a property tested in activity_test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmlp/hwmodel/cells.hpp"
+#include "pmlp/netlist/netlist.hpp"
+
+namespace pmlp::netlist {
+
+struct ActivityReport {
+  long vectors = 0;
+  long total_toggles = 0;
+  double toggle_rate = 0.0;       ///< avg toggles per gate per vector
+  double static_power_uw = 0.0;
+  double dynamic_power_uw = 0.0;
+  double total_power_uw = 0.0;
+
+  [[nodiscard]] double total_power_mw() const { return total_power_uw / 1000.0; }
+};
+
+/// Simulate `vectors` (each one full set of primary-input values, in
+/// inputs() order) and report activity-based power for the given clock.
+[[nodiscard]] ActivityReport analyze_activity(
+    const Netlist& nl, const std::vector<std::vector<bool>>& vectors,
+    const hwmodel::CellLibrary& lib, double clock_period_ms);
+
+/// Convenience: build the input vectors for a bespoke-MLP circuit from
+/// quantized samples (little-endian feature buses, inputs() order).
+[[nodiscard]] std::vector<std::vector<bool>> vectors_from_samples(
+    std::span<const Bus> input_buses, const Netlist& nl,
+    std::span<const std::uint8_t> codes_flat, int n_features);
+
+}  // namespace pmlp::netlist

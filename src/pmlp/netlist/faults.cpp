@@ -1,0 +1,105 @@
+#include "pmlp/netlist/faults.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace pmlp::netlist {
+
+std::vector<FaultSite> enumerate_fault_sites(const Netlist& nl) {
+  std::vector<FaultSite> sites;
+  const auto& gates = nl.gates();
+  for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (gates[static_cast<std::size_t>(gi)].out[static_cast<std::size_t>(slot)] < 0) {
+        continue;
+      }
+      sites.push_back({gi, slot, false});
+      sites.push_back({gi, slot, true});
+    }
+  }
+  return sites;
+}
+
+int predict_with_fault(const BespokeCircuit& circuit,
+                       std::span<const std::uint8_t> codes,
+                       const FaultSite& fault) {
+  if (codes.size() != circuit.input_buses.size()) {
+    throw std::invalid_argument("predict_with_fault: bad feature count");
+  }
+  std::vector<char> values(static_cast<std::size_t>(circuit.nl.n_nets()), 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    drive_bus(values, circuit.input_buses[i], codes[i]);
+  }
+  circuit.nl.evaluate_with_override(values, fault.gate_index,
+                                    fault.output_slot, fault.stuck_value);
+  return static_cast<int>(read_bus(values, circuit.class_index));
+}
+
+FaultReport run_fault_campaign(const BespokeCircuit& circuit,
+                               std::span<const std::uint8_t> codes_flat,
+                               std::span<const int> labels, int n_features,
+                               const FaultCampaignConfig& cfg) {
+  if (n_features <= 0 ||
+      codes_flat.size() !=
+          labels.size() * static_cast<std::size_t>(n_features)) {
+    throw std::invalid_argument("run_fault_campaign: bad sample shape");
+  }
+  const std::size_t n_samples =
+      cfg.max_samples > 0
+          ? std::min(labels.size(), static_cast<std::size_t>(cfg.max_samples))
+          : labels.size();
+  if (n_samples == 0) {
+    throw std::invalid_argument("run_fault_campaign: no samples");
+  }
+
+  auto sample_row = [&](std::size_t s) {
+    return codes_flat.subspan(s * static_cast<std::size_t>(n_features),
+                              static_cast<std::size_t>(n_features));
+  };
+
+  FaultReport report;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    if (circuit.predict(sample_row(s)) == labels[s]) ++correct;
+  }
+  report.fault_free_accuracy =
+      static_cast<double>(correct) / static_cast<double>(n_samples);
+
+  auto sites = enumerate_fault_sites(circuit.nl);
+  if (cfg.max_sites > 0 &&
+      sites.size() > static_cast<std::size_t>(cfg.max_sites)) {
+    std::mt19937_64 rng(cfg.seed);
+    std::shuffle(sites.begin(), sites.end(), rng);
+    sites.resize(static_cast<std::size_t>(cfg.max_sites));
+  }
+  if (sites.empty()) {
+    report.masked_fraction = 1.0;
+    report.mean_faulty_accuracy = report.fault_free_accuracy;
+    report.worst_faulty_accuracy = report.fault_free_accuracy;
+    return report;
+  }
+
+  double sum_acc = 0.0;
+  std::size_t masked = 0;
+  for (const auto& site : sites) {
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      if (predict_with_fault(circuit, sample_row(s), site) == labels[s]) {
+        ++hits;
+      }
+    }
+    const double acc =
+        static_cast<double>(hits) / static_cast<double>(n_samples);
+    sum_acc += acc;
+    report.worst_faulty_accuracy = std::min(report.worst_faulty_accuracy, acc);
+    if (acc + cfg.tolerance + 1e-12 >= report.fault_free_accuracy) ++masked;
+  }
+  report.sites_evaluated = sites.size();
+  report.mean_faulty_accuracy = sum_acc / static_cast<double>(sites.size());
+  report.masked_fraction =
+      static_cast<double>(masked) / static_cast<double>(sites.size());
+  return report;
+}
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,58 @@
+// Stuck-at fault analysis for bespoke printed circuits. Printed additive
+// manufacturing has far higher defect rates than silicon, so a realistic
+// printed classifier must tolerate single stuck-at faults gracefully. This
+// module enumerates stuck-at-0/1 faults on gate outputs, re-simulates the
+// classifier under each fault, and reports the accuracy distribution — an
+// extension the paper motivates (imprecise printing) but does not evaluate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmlp/netlist/builders.hpp"
+
+namespace pmlp::netlist {
+
+struct FaultSite {
+  int gate_index = 0;   ///< index into Netlist::gates()
+  int output_slot = 0;  ///< 0 or 1 (FA/HA have two outputs)
+  bool stuck_value = false;
+};
+
+/// All single stuck-at-0/1 sites on gate outputs.
+[[nodiscard]] std::vector<FaultSite> enumerate_fault_sites(const Netlist& nl);
+
+struct FaultReport {
+  std::size_t sites_evaluated = 0;
+  double fault_free_accuracy = 0.0;
+  double mean_faulty_accuracy = 0.0;
+  double worst_faulty_accuracy = 1.0;
+  /// Fraction of faults that leave accuracy within `tolerance` of
+  /// fault-free (the circuit "masks" them).
+  double masked_fraction = 0.0;
+};
+
+struct FaultCampaignConfig {
+  /// Evaluate at most this many fault sites (uniformly sampled,
+  /// deterministic in `seed`); <=0 means all sites.
+  int max_sites = 200;
+  /// Samples per fault simulation (<=0: the whole dataset).
+  int max_samples = 128;
+  double tolerance = 0.01;
+  std::uint64_t seed = 1;
+};
+
+/// Run a single-stuck-at campaign on a bespoke MLP circuit against
+/// quantized samples with labels.
+[[nodiscard]] FaultReport run_fault_campaign(
+    const BespokeCircuit& circuit, std::span<const std::uint8_t> codes_flat,
+    std::span<const int> labels, int n_features,
+    const FaultCampaignConfig& cfg = {});
+
+/// Classify one sample with a fault injected (exposed for tests).
+[[nodiscard]] int predict_with_fault(const BespokeCircuit& circuit,
+                                     std::span<const std::uint8_t> codes,
+                                     const FaultSite& fault);
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,41 @@
+#include "pmlp/netlist/from_quant.hpp"
+
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::netlist {
+
+BespokeMlpDesc to_bespoke_desc(const mlp::QuantMlp& net,
+                               const std::string& name) {
+  BespokeMlpDesc desc;
+  desc.name = name;
+  const auto& layers = net.layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const auto& ql = layers[l];
+    LayerDesc ld;
+    ld.n_in = ql.n_in;
+    ld.n_out = ql.n_out;
+    ld.input_bits = ql.input_bits;
+    ld.qrelu = l + 1 < layers.size();
+    ld.qrelu_shift = ql.qrelu_shift;
+    ld.act_bits = net.activation_bits();
+    const auto full_mask =
+        static_cast<std::uint32_t>(bitops::low_mask(ql.input_bits));
+    for (int o = 0; o < ql.n_out; ++o) {
+      NeuronDesc nd;
+      nd.bias = ql.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < ql.n_in; ++i) {
+        const std::int32_t w = ql.weight(o, i);
+        if (w == 0) continue;
+        const auto mag = static_cast<std::uint64_t>(w < 0 ? -w : w);
+        for (int p : bitops::set_bit_positions(mag)) {
+          nd.conns.push_back(ConnDesc{i, full_mask, p, w < 0 ? -1 : +1});
+        }
+      }
+      ld.neurons.push_back(std::move(nd));
+    }
+    desc.layers.push_back(std::move(ld));
+  }
+  return desc;
+}
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,15 @@
+// Bridge from the exact bespoke baseline model (QuantMlp, MICRO'20 [2])
+// to a buildable netlist description: each non-zero 8-bit weight expands
+// into one shifted full-width summand per set magnitude bit — the bespoke
+// constant multiplier realized as shift-adds.
+#pragma once
+
+#include "pmlp/mlp/quant_mlp.hpp"
+#include "pmlp/netlist/builders.hpp"
+
+namespace pmlp::netlist {
+
+[[nodiscard]] BespokeMlpDesc to_bespoke_desc(const mlp::QuantMlp& net,
+                                             const std::string& name);
+
+}  // namespace pmlp::netlist

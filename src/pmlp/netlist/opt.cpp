@@ -1,0 +1,225 @@
+#include "pmlp/netlist/opt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace pmlp::netlist {
+
+namespace {
+
+using hwmodel::CellType;
+
+/// Nets reachable (backwards) from the primary outputs.
+std::vector<char> live_nets(const Netlist& nl) {
+  std::vector<char> live(static_cast<std::size_t>(nl.n_nets()), 0);
+  for (const auto& [net, name] : nl.outputs()) {
+    live[static_cast<std::size_t>(net)] = 1;
+  }
+  // Gates are in topological order, so one reverse sweep suffices.
+  const auto& gates = nl.gates();
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    bool gate_live = false;
+    for (NetId out : it->out) {
+      if (out >= 0 && live[static_cast<std::size_t>(out)]) gate_live = true;
+    }
+    if (!gate_live) continue;
+    for (NetId in : it->in) {
+      if (in >= 0) live[static_cast<std::size_t>(in)] = 1;
+    }
+  }
+  return live;
+}
+
+bool is_commutative(CellType t) {
+  switch (t) {
+    case CellType::kAnd2:
+    case CellType::kOr2:
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+    case CellType::kHalfAdder:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Rebuild the netlist, dropping non-live gates and (optionally) merging
+/// structural duplicates. Reconstruction goes through the public gate
+/// constructors, so constant folding is re-applied for free.
+Netlist replay(const Netlist& nl, bool drop_dead, bool cse, OptStats* stats) {
+  const auto live =
+      drop_dead ? live_nets(nl)
+                : std::vector<char>(static_cast<std::size_t>(nl.n_nets()), 1);
+
+  Netlist out;
+  std::vector<NetId> net_map(static_cast<std::size_t>(nl.n_nets()), -1);
+  net_map[static_cast<std::size_t>(nl.const0())] = out.const0();
+  net_map[static_cast<std::size_t>(nl.const1())] = out.const1();
+  for (const auto& [net, name] : nl.inputs()) {
+    net_map[static_cast<std::size_t>(net)] = out.add_input(name);
+  }
+
+  // CSE table: (type, canonical inputs) -> outputs in the new netlist.
+  using Key = std::tuple<CellType, NetId, NetId, NetId>;
+  std::map<Key, std::pair<NetId, NetId>> seen;
+
+  auto mapped = [&](NetId n) {
+    if (n < 0) return n;
+    const NetId m = net_map[static_cast<std::size_t>(n)];
+    if (m < 0) throw std::logic_error("opt: use of unmapped net");
+    return m;
+  };
+
+  for (const auto& g : nl.gates()) {
+    bool gate_live = false;
+    for (NetId o : g.out) {
+      if (o >= 0 && live[static_cast<std::size_t>(o)]) gate_live = true;
+    }
+    if (!gate_live) {
+      if (stats) stats->dead_gates_removed += 1;
+      continue;
+    }
+
+    NetId a = mapped(g.in[0]);
+    NetId b = mapped(g.in[1]);
+    NetId c = mapped(g.in[2]);
+    if (cse) {
+      NetId ka = a, kb = b;
+      if (is_commutative(g.type) && kb >= 0 && ka > kb) std::swap(ka, kb);
+      // FA is commutative in all three operands; canonicalize by sorting.
+      NetId kc = c;
+      if (g.type == CellType::kFullAdder) {
+        std::array<NetId, 3> ops{ka, kb, kc};
+        std::sort(ops.begin(), ops.end());
+        ka = ops[0];
+        kb = ops[1];
+        kc = ops[2];
+      }
+      const Key key{g.type, ka, kb, kc};
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        if (stats) stats->duplicate_gates_merged += 1;
+        for (int o = 0; o < 2; ++o) {
+          if (g.out[static_cast<std::size_t>(o)] >= 0) {
+            net_map[static_cast<std::size_t>(g.out[static_cast<std::size_t>(o)])] =
+                o == 0 ? it->second.first : it->second.second;
+          }
+        }
+        continue;
+      }
+      // Fall through to construction; record afterwards.
+      std::pair<NetId, NetId> built{-1, -1};
+      switch (g.type) {
+        case CellType::kNot: built.first = out.add_not(a); break;
+        case CellType::kBuf: built.first = out.add_buf(a); break;
+        case CellType::kAnd2: built.first = out.add_and(a, b); break;
+        case CellType::kOr2: built.first = out.add_or(a, b); break;
+        case CellType::kNand2: built.first = out.add_nand(a, b); break;
+        case CellType::kNor2: built.first = out.add_nor(a, b); break;
+        case CellType::kXor2: built.first = out.add_xor(a, b); break;
+        case CellType::kXnor2: built.first = out.add_xnor(a, b); break;
+        case CellType::kMux2: built.first = out.add_mux(a, b, c); break;
+        case CellType::kDff: built.first = out.add_dff(a); break;
+        case CellType::kHalfAdder: {
+          const auto [s, co] = out.add_ha(a, b);
+          built = {s, co};
+          break;
+        }
+        case CellType::kFullAdder: {
+          const auto [s, co] = out.add_fa(a, b, c);
+          built = {s, co};
+          break;
+        }
+        case CellType::kCount:
+          throw std::logic_error("opt: bad gate");
+      }
+      seen.emplace(key, built);
+      if (g.out[0] >= 0) net_map[static_cast<std::size_t>(g.out[0])] = built.first;
+      if (g.out[1] >= 0) net_map[static_cast<std::size_t>(g.out[1])] = built.second;
+      continue;
+    }
+
+    // No CSE: plain reconstruction.
+    switch (g.type) {
+      case CellType::kNot:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_not(a);
+        break;
+      case CellType::kBuf:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_buf(a);
+        break;
+      case CellType::kAnd2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_and(a, b);
+        break;
+      case CellType::kOr2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_or(a, b);
+        break;
+      case CellType::kNand2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_nand(a, b);
+        break;
+      case CellType::kNor2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_nor(a, b);
+        break;
+      case CellType::kXor2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_xor(a, b);
+        break;
+      case CellType::kXnor2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_xnor(a, b);
+        break;
+      case CellType::kMux2:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_mux(a, b, c);
+        break;
+      case CellType::kDff:
+        net_map[static_cast<std::size_t>(g.out[0])] = out.add_dff(a);
+        break;
+      case CellType::kHalfAdder: {
+        const auto [s, co] = out.add_ha(a, b);
+        net_map[static_cast<std::size_t>(g.out[0])] = s;
+        net_map[static_cast<std::size_t>(g.out[1])] = co;
+        break;
+      }
+      case CellType::kFullAdder: {
+        const auto [s, co] = out.add_fa(a, b, c);
+        net_map[static_cast<std::size_t>(g.out[0])] = s;
+        net_map[static_cast<std::size_t>(g.out[1])] = co;
+        break;
+      }
+      case CellType::kCount:
+        throw std::logic_error("opt: bad gate");
+    }
+  }
+
+  for (const auto& [net, name] : nl.outputs()) {
+    out.mark_output(mapped(net), name);
+  }
+  if (stats) stats->gates_remaining = static_cast<long>(out.gates().size());
+  return out;
+}
+
+}  // namespace
+
+Netlist eliminate_dead_gates(const Netlist& nl, OptStats* stats) {
+  return replay(nl, /*drop_dead=*/true, /*cse=*/false, stats);
+}
+
+Netlist merge_duplicate_gates(const Netlist& nl, OptStats* stats) {
+  return replay(nl, /*drop_dead=*/false, /*cse=*/true, stats);
+}
+
+Netlist optimize(const Netlist& nl, OptStats* stats) {
+  Netlist merged = replay(nl, /*drop_dead=*/true, /*cse=*/true, stats);
+  OptStats dead_stats;
+  Netlist out = replay(merged, /*drop_dead=*/true, /*cse=*/false, &dead_stats);
+  if (stats) {
+    stats->dead_gates_removed += dead_stats.dead_gates_removed;
+    stats->gates_remaining = dead_stats.gates_remaining;
+  }
+  return out;
+}
+
+}  // namespace pmlp::netlist

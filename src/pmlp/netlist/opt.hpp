@@ -1,0 +1,36 @@
+// Netlist optimization passes — the logic-synthesis cleanups a commercial
+// tool applies after technology mapping. The bespoke builders already fold
+// constants at construction time; these passes additionally remove gates
+// whose outputs drive nothing (dead-gate elimination) and merge structurally
+// identical gates (common-subexpression elimination), both of which appear
+// when masks prune most of a neuron away.
+#pragma once
+
+#include "pmlp/netlist/netlist.hpp"
+
+namespace pmlp::netlist {
+
+struct OptStats {
+  long dead_gates_removed = 0;
+  long duplicate_gates_merged = 0;
+  /// Gates in the netlist after the pass.
+  long gates_remaining = 0;
+
+  [[nodiscard]] long total_removed() const {
+    return dead_gates_removed + duplicate_gates_merged;
+  }
+};
+
+/// Remove gates none of whose outputs reach a primary output (transitively).
+/// Returns the optimized netlist (inputs/outputs preserved, nets renumbered).
+[[nodiscard]] Netlist eliminate_dead_gates(const Netlist& nl, OptStats* stats = nullptr);
+
+/// Merge gates with identical (type, inputs); downstream references are
+/// rewired to the surviving gate. Iterates to a fixed point so chains of
+/// duplicates collapse. Commutative gates match under input swap.
+[[nodiscard]] Netlist merge_duplicate_gates(const Netlist& nl, OptStats* stats = nullptr);
+
+/// Full pipeline: CSE to a fixed point, then dead-gate elimination.
+[[nodiscard]] Netlist optimize(const Netlist& nl, OptStats* stats = nullptr);
+
+}  // namespace pmlp::netlist

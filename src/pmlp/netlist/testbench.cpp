@@ -1,0 +1,116 @@
+#include "pmlp/netlist/testbench.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "pmlp/netlist/verilog.hpp"
+
+namespace pmlp::netlist {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "n_");
+  return out;
+}
+
+}  // namespace
+
+void emit_testbench(const BespokeCircuit& circuit, int n_features,
+                    std::span<const std::uint8_t> codes_flat,
+                    const TestbenchOptions& opts, std::ostream& os) {
+  if (n_features <= 0 ||
+      codes_flat.size() % static_cast<std::size_t>(n_features) != 0) {
+    throw std::invalid_argument("emit_testbench: bad sample shape");
+  }
+  const auto n_samples = std::min<std::size_t>(
+      codes_flat.size() / static_cast<std::size_t>(n_features),
+      static_cast<std::size_t>(opts.max_vectors));
+  if (n_samples == 0) throw std::invalid_argument("emit_testbench: no vectors");
+
+  const auto& nl = circuit.nl;
+  const std::string dut = sanitize(opts.dut_name);
+
+  os << "`timescale 1ns/1ns\n";
+  os << "module " << dut << "_tb;\n";
+  for (const auto& [net, name] : nl.inputs()) {
+    os << "  reg " << sanitize(name) << ";\n";
+  }
+  for (const auto& [net, name] : nl.outputs()) {
+    os << "  wire " << sanitize(name) << ";\n";
+  }
+  os << "  integer errors;\n\n";
+  os << "  " << dut << " dut(\n";
+  bool first = true;
+  for (const auto& [net, name] : nl.inputs()) {
+    os << (first ? "    " : ",\n    ") << "." << sanitize(name) << "("
+       << sanitize(name) << ")";
+    first = false;
+  }
+  for (const auto& [net, name] : nl.outputs()) {
+    os << ",\n    ." << sanitize(name) << "(" << sanitize(name) << ")";
+  }
+  os << "\n  );\n\n";
+
+  // Expected class index per vector from the golden simulator.
+  os << "  initial begin\n";
+  os << "    errors = 0;\n";
+  const auto half_period =
+      static_cast<long long>(opts.clock_period_ns / 2.0);
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    const auto row =
+        codes_flat.subspan(s * static_cast<std::size_t>(n_features),
+                           static_cast<std::size_t>(n_features));
+    const int expected = circuit.predict(row);
+    // Drive each feature bus bit.
+    for (int f = 0; f < n_features; ++f) {
+      const Bus& bus = circuit.input_buses[static_cast<std::size_t>(f)];
+      for (std::size_t bit = 0; bit < bus.size(); ++bit) {
+        // Input names follow add_input_bus: x<f>[<bit>].
+        os << "    x" << f << "_" << bit << "_ = 1'b"
+           << (((row[static_cast<std::size_t>(f)] >> bit) & 1u) != 0 ? 1 : 0)
+           << ";\n";
+      }
+    }
+    os << "    #" << half_period << ";\n";
+    // Compare the class-index bus against the golden value.
+    os << "    if ({";
+    for (std::size_t bit = circuit.class_index.size(); bit-- > 0;) {
+      os << "class_" << bit << "_";
+      if (bit != 0) os << ", ";
+    }
+    os << "} !== " << circuit.class_index.size() << "'d" << expected
+       << ") begin\n";
+    os << "      $display(\"MISMATCH vector " << s << ": expected "
+       << expected << "\");\n";
+    os << "      errors = errors + 1;\n";
+    os << "    end\n";
+    os << "    #" << half_period << ";\n";
+  }
+  os << "    if (errors == 0) $display(\"TESTBENCH PASS (" << n_samples
+     << " vectors)\");\n";
+  os << "    else $display(\"TESTBENCH FAIL: %0d errors\", errors);\n";
+  os << "    $finish;\n";
+  os << "  end\n";
+  os << "endmodule\n";
+}
+
+std::string to_verilog_with_testbench(const BespokeCircuit& circuit,
+                                      int n_features,
+                                      std::span<const std::uint8_t> codes_flat,
+                                      const TestbenchOptions& opts) {
+  std::ostringstream os;
+  emit_verilog(circuit.nl, opts.dut_name, os);
+  os << "\n";
+  emit_testbench(circuit, n_features, codes_flat, opts, os);
+  return os.str();
+}
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,35 @@
+// Self-checking Verilog testbench emitter: together with verilog.hpp this
+// yields a complete hand-off artifact for a real EDA flow (the paper's
+// VCS step) — the DUT module plus a testbench that applies recorded input
+// vectors and compares against the expected class indices produced by our
+// golden gate-level simulator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "pmlp/netlist/builders.hpp"
+
+namespace pmlp::netlist {
+
+struct TestbenchOptions {
+  std::string dut_name = "approx_mlp";
+  int max_vectors = 256;        ///< cap on emitted stimulus
+  double clock_period_ns = 2e8; ///< 200 ms printed clock, in ns
+};
+
+/// Emit a self-checking testbench for a bespoke MLP circuit. `codes_flat`
+/// holds row-major quantized samples (n_features per row); expected outputs
+/// are computed with the circuit's own simulator (golden reference).
+void emit_testbench(const BespokeCircuit& circuit, int n_features,
+                    std::span<const std::uint8_t> codes_flat,
+                    const TestbenchOptions& opts, std::ostream& os);
+
+/// Convenience: DUT + testbench in one string.
+[[nodiscard]] std::string to_verilog_with_testbench(
+    const BespokeCircuit& circuit, int n_features,
+    std::span<const std::uint8_t> codes_flat, const TestbenchOptions& opts);
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,23 @@
+// Verilog-2001 emitter for bespoke netlists — the paper's flow translates
+// trained coefficients/masks "into an HDL description"; this produces that
+// artifact so the circuits can be taken to a real EDA flow.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "pmlp/netlist/netlist.hpp"
+
+namespace pmlp::netlist {
+
+/// Emit a flat structural module for the netlist. Primary inputs/outputs
+/// are the nets registered via add_input/mark_output; FAs and HAs are
+/// emitted as concatenation-sum assigns, simple gates as boolean assigns.
+void emit_verilog(const Netlist& nl, const std::string& module_name,
+                  std::ostream& os);
+
+/// Convenience: emit into a string.
+[[nodiscard]] std::string to_verilog(const Netlist& nl,
+                                     const std::string& module_name);
+
+}  // namespace pmlp::netlist

@@ -1,0 +1,322 @@
+#include "pmlp/nsga2/nsga2.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+namespace pmlp::nsga2 {
+
+bool dominates(const Individual& a, const Individual& b) {
+  const bool a_feasible = a.constraint_violation <= 0.0;
+  const bool b_feasible = b.constraint_violation <= 0.0;
+  if (a_feasible != b_feasible) return a_feasible;
+  if (!a_feasible) return a.constraint_violation < b.constraint_violation;
+
+  bool strictly_better = false;
+  for (std::size_t m = 0; m < a.objectives.size(); ++m) {
+    if (a.objectives[m] > b.objectives[m]) return false;
+    if (a.objectives[m] < b.objectives[m]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+int fast_non_dominated_sort(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<int> dominate_count(n, 0);
+  std::vector<std::size_t> current;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(pop[i], pop[j])) {
+        dominated[i].push_back(j);
+        ++dominate_count[j];
+      } else if (dominates(pop[j], pop[i])) {
+        dominated[j].push_back(i);
+        ++dominate_count[i];
+      }
+    }
+    if (dominate_count[i] == 0) {
+      pop[i].rank = 0;
+      current.push_back(i);
+    }
+  }
+
+  int rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated[i]) {
+        if (--dominate_count[j] == 0) {
+          pop[j].rank = rank + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    current = std::move(next);
+    ++rank;
+  }
+  return rank;
+}
+
+void assign_crowding_distances(std::vector<Individual>& pop) {
+  if (pop.empty()) return;
+  const std::size_t n_obj = pop.front().objectives.size();
+  for (auto& ind : pop) ind.crowding = 0.0;
+
+  int max_rank = 0;
+  for (const auto& ind : pop) max_rank = std::max(max_rank, ind.rank);
+
+  std::vector<std::size_t> idx;
+  for (int r = 0; r <= max_rank; ++r) {
+    idx.clear();
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (pop[i].rank == r) idx.push_back(i);
+    }
+    if (idx.empty()) continue;
+    for (std::size_t m = 0; m < n_obj; ++m) {
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return pop[a].objectives[m] < pop[b].objectives[m];
+      });
+      const double lo = pop[idx.front()].objectives[m];
+      const double hi = pop[idx.back()].objectives[m];
+      pop[idx.front()].crowding = std::numeric_limits<double>::infinity();
+      pop[idx.back()].crowding = std::numeric_limits<double>::infinity();
+      if (hi <= lo) continue;
+      for (std::size_t k = 1; k + 1 < idx.size(); ++k) {
+        pop[idx[k]].crowding += (pop[idx[k + 1]].objectives[m] -
+                                 pop[idx[k - 1]].objectives[m]) /
+                                (hi - lo);
+      }
+    }
+  }
+}
+
+std::vector<Individual> extract_pareto_front(std::vector<Individual> pop) {
+  fast_non_dominated_sort(pop);
+  const bool any_feasible =
+      std::any_of(pop.begin(), pop.end(), [](const Individual& i) {
+        return i.constraint_violation <= 0.0;
+      });
+  std::vector<Individual> front;
+  for (auto& ind : pop) {
+    // With constraint domination, rank 0 is feasible whenever anything is;
+    // if nothing is feasible yet, return the least-violating front instead
+    // of an empty result.
+    if (ind.rank == 0 &&
+        (ind.constraint_violation <= 0.0 || !any_feasible)) {
+      front.push_back(std::move(ind));
+    }
+  }
+  std::sort(front.begin(), front.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.objectives < b.objectives;
+            });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const Individual& a, const Individual& b) {
+                            return a.objectives == b.objectives;
+                          }),
+              front.end());
+  return front;
+}
+
+namespace {
+
+/// Deterministic parallel evaluation: indices are partitioned statically.
+void evaluate_all(const Problem& problem, std::vector<Individual>& pop,
+                  int n_threads, long& evaluations) {
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto ev = problem.evaluate(pop[i].genes);
+      pop[i].objectives = std::move(ev.objectives);
+      pop[i].constraint_violation = ev.constraint_violation;
+    }
+  };
+  const std::size_t n = pop.size();
+  if (n_threads <= 1 || n < 2) {
+    work(0, n);
+  } else {
+    const auto t = static_cast<std::size_t>(n_threads);
+    std::vector<std::thread> threads;
+    threads.reserve(t);
+    for (std::size_t k = 0; k < t; ++k) {
+      const std::size_t begin = n * k / t;
+      const std::size_t end = n * (k + 1) / t;
+      threads.emplace_back(work, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  }
+  evaluations += static_cast<long>(n);
+}
+
+/// Binary tournament by (rank, crowding) — the canonical crowded comparison.
+const Individual& tournament(const std::vector<Individual>& pop,
+                             std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> pick(0, pop.size() - 1);
+  const Individual& a = pop[pick(rng)];
+  const Individual& b = pop[pick(rng)];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+void crossover_genes(std::vector<int>& c1, std::vector<int>& c2,
+                     CrossoverKind kind, std::mt19937_64& rng) {
+  const std::size_t n = c1.size();
+  if (n < 2) return;
+  std::uniform_int_distribution<std::size_t> pos(1, n - 1);
+  switch (kind) {
+    case CrossoverKind::kUniform: {
+      std::bernoulli_distribution coin(0.5);
+      for (std::size_t g = 0; g < n; ++g) {
+        if (coin(rng)) std::swap(c1[g], c2[g]);
+      }
+      break;
+    }
+    case CrossoverKind::kOnePoint: {
+      const std::size_t cut = pos(rng);
+      for (std::size_t g = cut; g < n; ++g) std::swap(c1[g], c2[g]);
+      break;
+    }
+    case CrossoverKind::kTwoPoint: {
+      std::size_t p1 = pos(rng);
+      std::size_t p2 = pos(rng);
+      if (p1 > p2) std::swap(p1, p2);
+      for (std::size_t g = p1; g < p2; ++g) std::swap(c1[g], c2[g]);
+      break;
+    }
+  }
+}
+
+void mutate_genes(std::vector<int>& genes, const Problem& problem,
+                  const Config& cfg, std::mt19937_64& rng) {
+  const double rate = cfg.per_gene_rate > 0.0
+                          ? cfg.per_gene_rate
+                          : 1.0 / static_cast<double>(genes.size());
+  std::bernoulli_distribution hit(rate);
+  std::bernoulli_distribution creep(cfg.creep_fraction);
+  for (std::size_t g = 0; g < genes.size(); ++g) {
+    if (!hit(rng)) continue;
+    const GeneBounds b = problem.bounds(static_cast<int>(g));
+    // Domain-aware mutation takes precedence when the problem provides one.
+    if (auto custom = problem.mutate_gene(static_cast<int>(g), genes[g], rng)) {
+      genes[g] = std::clamp(*custom, b.lo, b.hi);
+      continue;
+    }
+    if (b.hi <= b.lo) {
+      genes[g] = b.lo;
+      continue;
+    }
+    if (creep(rng)) {
+      std::uniform_int_distribution<int> step(1, cfg.creep_step);
+      const int delta = (rng() & 1u) ? step(rng) : -step(rng);
+      genes[g] = std::clamp(genes[g] + delta, b.lo, b.hi);
+    } else {
+      std::uniform_int_distribution<int> reset(b.lo, b.hi);
+      genes[g] = reset(rng);
+    }
+  }
+}
+
+std::vector<int> random_genes(const Problem& problem, std::mt19937_64& rng) {
+  std::vector<int> genes(static_cast<std::size_t>(problem.n_genes()));
+  for (std::size_t g = 0; g < genes.size(); ++g) {
+    const GeneBounds b = problem.bounds(static_cast<int>(g));
+    std::uniform_int_distribution<int> pick(b.lo, b.hi);
+    genes[g] = pick(rng);
+  }
+  return genes;
+}
+
+/// Elitist environmental selection: best `size` by (rank, crowding).
+std::vector<Individual> select_survivors(std::vector<Individual> merged,
+                                         std::size_t size) {
+  fast_non_dominated_sort(merged);
+  assign_crowding_distances(merged);
+  std::sort(merged.begin(), merged.end(),
+            [](const Individual& a, const Individual& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.crowding > b.crowding;
+            });
+  merged.resize(size);
+  return merged;
+}
+
+}  // namespace
+
+Result optimize(const Problem& problem, const Config& cfg) {
+  if (cfg.population < 4 || cfg.population % 2 != 0) {
+    throw std::invalid_argument("nsga2: population must be even and >= 4");
+  }
+  if (problem.n_genes() <= 0) {
+    throw std::invalid_argument("nsga2: problem has no genes");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::mt19937_64 rng(cfg.seed);
+  Result result;
+
+  // --- Initial population: optional seeds + random fill.
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(cfg.population));
+  for (auto& seed_genes : problem.seed_individuals(cfg.population)) {
+    if (static_cast<int>(pop.size()) >= cfg.population) break;
+    Individual ind;
+    ind.genes = std::move(seed_genes);
+    ind.genes.resize(static_cast<std::size_t>(problem.n_genes()), 0);
+    for (std::size_t g = 0; g < ind.genes.size(); ++g) {
+      const GeneBounds b = problem.bounds(static_cast<int>(g));
+      ind.genes[g] = std::clamp(ind.genes[g], b.lo, b.hi);
+    }
+    pop.push_back(std::move(ind));
+  }
+  while (static_cast<int>(pop.size()) < cfg.population) {
+    Individual ind;
+    ind.genes = random_genes(problem, rng);
+    pop.push_back(std::move(ind));
+  }
+  evaluate_all(problem, pop, cfg.n_threads, result.evaluations);
+  fast_non_dominated_sort(pop);
+  assign_crowding_distances(pop);
+
+  std::bernoulli_distribution do_crossover(cfg.crossover_prob);
+  std::bernoulli_distribution do_mutation(cfg.mutation_prob);
+
+  for (int gen = 0; gen < cfg.generations; ++gen) {
+    // --- Variation: tournament parents -> crossover -> mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(static_cast<std::size_t>(cfg.population));
+    while (static_cast<int>(offspring.size()) < cfg.population) {
+      std::vector<int> c1 = tournament(pop, rng).genes;
+      std::vector<int> c2 = tournament(pop, rng).genes;
+      if (do_crossover(rng)) crossover_genes(c1, c2, cfg.crossover, rng);
+      if (do_mutation(rng)) mutate_genes(c1, problem, cfg, rng);
+      if (do_mutation(rng)) mutate_genes(c2, problem, cfg, rng);
+      Individual i1, i2;
+      i1.genes = std::move(c1);
+      i2.genes = std::move(c2);
+      offspring.push_back(std::move(i1));
+      offspring.push_back(std::move(i2));
+    }
+    evaluate_all(problem, offspring, cfg.n_threads, result.evaluations);
+
+    // --- Elitist survivor selection over parents + offspring.
+    std::vector<Individual> merged = std::move(pop);
+    merged.insert(merged.end(), std::make_move_iterator(offspring.begin()),
+                  std::make_move_iterator(offspring.end()));
+    pop = select_survivors(std::move(merged),
+                           static_cast<std::size_t>(cfg.population));
+    if (cfg.on_generation) cfg.on_generation(gen, pop);
+  }
+
+  result.pareto_front = extract_pareto_front(pop);
+  result.population = std::move(pop);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace pmlp::nsga2

@@ -1,0 +1,112 @@
+// NSGA-II (Deb et al., 2002) over integer genomes, as the paper's training
+// engine (§IV-A): fast non-dominated sorting, crowding distance, binary
+// tournament, uniform/k-point crossover and reset/creep mutation, with
+// constraint domination for the paper's 10% accuracy-loss bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace pmlp::nsga2 {
+
+/// Inclusive integer bounds of one gene.
+struct GeneBounds {
+  int lo = 0;
+  int hi = 0;
+};
+
+/// A candidate solution with its evaluation and NSGA-II bookkeeping.
+struct Individual {
+  std::vector<int> genes;
+  std::vector<double> objectives;       ///< minimized
+  double constraint_violation = 0.0;    ///< 0 = feasible, >0 = infeasible
+  int rank = -1;                        ///< 0 = non-dominated front
+  double crowding = 0.0;
+};
+
+/// Problem interface. evaluate() must be thread-safe (const).
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  [[nodiscard]] virtual int n_genes() const = 0;
+  [[nodiscard]] virtual GeneBounds bounds(int gene) const = 0;
+  [[nodiscard]] virtual int n_objectives() const { return 2; }
+
+  struct Evaluation {
+    std::vector<double> objectives;
+    double constraint_violation = 0.0;
+  };
+  [[nodiscard]] virtual Evaluation evaluate(std::span<const int> genes) const = 0;
+
+  /// Optional seed individuals for the initial population (e.g. the paper's
+  /// ~10% doping with nearly non-approximate solutions). At most `max` are
+  /// used; out-of-bounds genes are clamped.
+  [[nodiscard]] virtual std::vector<std::vector<int>> seed_individuals(
+      int /*max*/) const {
+    return {};
+  }
+
+  /// Optional domain-aware mutation of a single gene. Return the new value,
+  /// or std::nullopt to let the engine apply its generic reset/creep
+  /// mutation. Must be thread-compatible (called under the engine's RNG).
+  [[nodiscard]] virtual std::optional<int> mutate_gene(
+      int /*gene*/, int /*current*/, std::mt19937_64& /*rng*/) const {
+    return std::nullopt;
+  }
+};
+
+enum class CrossoverKind { kUniform, kOnePoint, kTwoPoint };
+
+struct Config {
+  int population = 100;
+  int generations = 100;
+  /// Probability a selected pair undergoes crossover (paper: 0.7).
+  double crossover_prob = 0.7;
+  /// Probability an offspring undergoes mutation (paper: 0.2).
+  double mutation_prob = 0.2;
+  /// Per-gene mutation rate once an offspring mutates; 0 selects 1/n_genes.
+  double per_gene_rate = 0.0;
+  /// Fraction of mutations that creep (+/- small step) instead of resetting
+  /// the gene uniformly — creep helps fine-tuning discrete exponents/biases.
+  double creep_fraction = 0.5;
+  int creep_step = 1;
+  CrossoverKind crossover = CrossoverKind::kUniform;
+  std::uint64_t seed = 1;
+  int n_threads = 1;  ///< parallel fitness evaluation (deterministic)
+  /// Called after each generation with the sorted parent population.
+  std::function<void(int generation, const std::vector<Individual>&)>
+      on_generation;
+};
+
+struct Result {
+  std::vector<Individual> population;    ///< final parents, sorted by rank
+  std::vector<Individual> pareto_front;  ///< feasible rank-0 individuals
+  long evaluations = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run NSGA-II. Deterministic in cfg.seed (also with n_threads > 1).
+[[nodiscard]] Result optimize(const Problem& problem, const Config& cfg);
+
+// --- Internals exposed for unit testing -----------------------------------
+
+/// Constraint domination (Deb): feasible beats infeasible; two infeasible
+/// compare by violation; two feasible by Pareto dominance on objectives.
+[[nodiscard]] bool dominates(const Individual& a, const Individual& b);
+
+/// Assign ranks (fronts) in place; returns the number of fronts.
+int fast_non_dominated_sort(std::vector<Individual>& pop);
+
+/// Assign crowding distances within each rank, in place.
+void assign_crowding_distances(std::vector<Individual>& pop);
+
+/// Deduplicated feasible rank-0 subset (by objective vector).
+[[nodiscard]] std::vector<Individual> extract_pareto_front(
+    std::vector<Individual> pop);
+
+}  // namespace pmlp::nsga2

@@ -1,0 +1,23 @@
+// Random-search baseline over the same Problem interface as NSGA-II: draws
+// uniform random genomes (plus the problem's seeds), evaluates the same
+// number of candidates, and keeps the non-dominated feasible set. Exists to
+// quantify how much the evolutionary machinery (selection, crossover,
+// domain mutation) actually contributes — see bench_ablation.
+#pragma once
+
+#include "pmlp/nsga2/nsga2.hpp"
+
+namespace pmlp::nsga2 {
+
+struct RandomSearchConfig {
+  long evaluations = 10000;
+  std::uint64_t seed = 1;
+  int n_threads = 1;
+};
+
+/// Evaluate `evaluations` random candidates; returns the feasible
+/// non-dominated subset (same Result contract as optimize()).
+[[nodiscard]] Result random_search(const Problem& problem,
+                                   const RandomSearchConfig& cfg);
+
+}  // namespace pmlp::nsga2

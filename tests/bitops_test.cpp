@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/bitops/fixed_point.hpp"
+#include "pmlp/bitops/lfsr.hpp"
+
+namespace bitops = pmlp::bitops;
+
+TEST(Bitops, PopcountMatchesManualCount) {
+  EXPECT_EQ(bitops::popcount(0), 0);
+  EXPECT_EQ(bitops::popcount(0b101101), 4);
+  EXPECT_EQ(bitops::popcount(~std::uint64_t{0}), 64);
+}
+
+TEST(Bitops, LowMaskBoundaries) {
+  EXPECT_EQ(bitops::low_mask(0), 0u);
+  EXPECT_EQ(bitops::low_mask(1), 1u);
+  EXPECT_EQ(bitops::low_mask(4), 0xFu);
+  EXPECT_EQ(bitops::low_mask(64), ~std::uint64_t{0});
+  EXPECT_EQ(bitops::low_mask(-3), 0u);
+}
+
+TEST(Bitops, TestAndSetBit) {
+  std::uint64_t v = 0;
+  v = bitops::set_bit(v, 5, true);
+  EXPECT_TRUE(bitops::test_bit(v, 5));
+  EXPECT_FALSE(bitops::test_bit(v, 4));
+  v = bitops::set_bit(v, 5, false);
+  EXPECT_EQ(v, 0u);
+  // Out-of-range positions are no-ops / false.
+  EXPECT_EQ(bitops::set_bit(v, 64, true), 0u);
+  EXPECT_FALSE(bitops::test_bit(~std::uint64_t{0}, 64));
+}
+
+TEST(Bitops, MsbIndexAndWidth) {
+  EXPECT_EQ(bitops::msb_index(0), -1);
+  EXPECT_EQ(bitops::msb_index(1), 0);
+  EXPECT_EQ(bitops::msb_index(0x80), 7);
+  EXPECT_EQ(bitops::bit_width_u(0), 1);
+  EXPECT_EQ(bitops::bit_width_u(255), 8);
+  EXPECT_EQ(bitops::bit_width_u(256), 9);
+}
+
+TEST(Bitops, SignedBitWidthCoversRange) {
+  // Width w must satisfy -2^(w-1) <= v < 2^(w-1).
+  for (std::int64_t v : {-129, -128, -127, -1, 0, 1, 127, 128, 255}) {
+    const int w = bitops::bit_width_signed(v);
+    const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+    const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+    EXPECT_GE(v, lo) << v;
+    EXPECT_LE(v, hi) << v;
+    if (w > 1) {
+      // Minimality: one bit fewer must not fit.
+      const std::int64_t lo2 = -(std::int64_t{1} << (w - 2));
+      const std::int64_t hi2 = (std::int64_t{1} << (w - 2)) - 1;
+      EXPECT_TRUE(v < lo2 || v > hi2) << v;
+    }
+  }
+}
+
+TEST(Bitops, SetBitPositions) {
+  const auto pos = bitops::set_bit_positions(0b101101);
+  ASSERT_EQ(pos.size(), 4u);
+  EXPECT_EQ(pos, (std::vector<int>{0, 2, 3, 5}));
+  EXPECT_TRUE(bitops::set_bit_positions(0).empty());
+}
+
+class TwosComplementRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwosComplementRoundTrip, AllValuesOfWidth) {
+  const int w = GetParam();
+  const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+  const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+  for (std::int64_t v = lo; v <= hi; ++v) {
+    const auto bits = bitops::to_twos_complement(v, w);
+    EXPECT_EQ(bitops::from_twos_complement(bits, w), v) << "w=" << w;
+    EXPECT_EQ(bits & ~bitops::low_mask(w), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TwosComplementRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+TEST(Bitops, BinaryStringRoundTrip) {
+  EXPECT_EQ(bitops::to_binary_string(0b101101, 6), "101101");
+  EXPECT_EQ(bitops::from_binary_string("101101"), 0b101101u);
+  EXPECT_EQ(bitops::to_binary_string(1, 4), "0001");
+  EXPECT_THROW((void)bitops::from_binary_string("10x1"), std::invalid_argument);
+  EXPECT_THROW((void)bitops::from_binary_string(""), std::invalid_argument);
+}
+
+TEST(Bitops, ReverseBits) {
+  EXPECT_EQ(bitops::reverse_bits(0b1000, 4), 0b0001u);
+  EXPECT_EQ(bitops::reverse_bits(0b1011, 4), 0b1101u);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(bitops::reverse_bits(bitops::reverse_bits(v, 6), 6), v);
+  }
+}
+
+TEST(UnsignedQuantizer, EndpointsAndClamping) {
+  bitops::UnsignedQuantizer q{4};
+  EXPECT_EQ(q.levels(), 15u);
+  EXPECT_EQ(q.quantize(0.0), 0u);
+  EXPECT_EQ(q.quantize(1.0), 15u);
+  EXPECT_EQ(q.quantize(-0.5), 0u);
+  EXPECT_EQ(q.quantize(2.0), 15u);
+  EXPECT_DOUBLE_EQ(q.dequantize(15), 1.0);
+}
+
+TEST(UnsignedQuantizer, RoundTripErrorBounded) {
+  bitops::UnsignedQuantizer q{4};
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const double err = std::abs(q.dequantize(q.quantize(x)) - x);
+    EXPECT_LE(err, 0.5 / 15.0 + 1e-12) << x;
+  }
+}
+
+TEST(SignedQuantizer, FitCoversMaxAbs) {
+  const std::vector<double> w = {-0.8, 0.3, 0.79};
+  const auto q = bitops::SignedQuantizer::fit(w, 8);
+  EXPECT_EQ(q.max_code(), 127);
+  EXPECT_EQ(q.quantize(0.8), 127);
+  EXPECT_EQ(q.quantize(-0.8), -127);
+  EXPECT_NEAR(q.dequantize(q.quantize(0.3)), 0.3, q.scale / 2 + 1e-12);
+}
+
+TEST(SignedQuantizer, RejectsBadBits) {
+  EXPECT_THROW((void)bitops::SignedQuantizer::fit({1.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)bitops::SignedQuantizer::fit({1.0}, 40),
+               std::invalid_argument);
+}
+
+TEST(NearestPow2, IsActuallyNearestForAll8BitCodes) {
+  for (std::int64_t c = -127; c <= 127; ++c) {
+    if (c == 0) continue;
+    const auto p2 = bitops::nearest_pow2(c, 6);
+    EXPECT_EQ(p2.sign, c < 0 ? -1 : +1) << c;
+    const std::int64_t mag = c < 0 ? -c : c;
+    const std::int64_t got = std::int64_t{1} << p2.exponent;
+    for (int k = 0; k <= 6; ++k) {
+      const std::int64_t cand = std::int64_t{1} << k;
+      EXPECT_LE(std::abs(got - mag), std::abs(cand - mag))
+          << "code " << c << " exp " << p2.exponent;
+    }
+  }
+}
+
+TEST(NearestPow2, ZeroMapsToPositiveUnit) {
+  const auto p2 = bitops::nearest_pow2(0, 6);
+  EXPECT_EQ(p2.sign, +1);
+  EXPECT_EQ(p2.exponent, 0);
+}
+
+class LfsrPeriod : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrPeriod, IsMaximalLength) {
+  const int w = GetParam();
+  bitops::Lfsr lfsr(w, 1);
+  std::set<std::uint32_t> seen;
+  const std::uint32_t period = lfsr.period();
+  for (std::uint32_t i = 0; i < period; ++i) {
+    const auto s = lfsr.next();
+    EXPECT_NE(s, 0u);  // zero state is absorbing and must never appear
+    EXPECT_TRUE(seen.insert(s).second) << "repeated state at step " << i;
+  }
+  // After a full period the sequence must repeat.
+  EXPECT_EQ(seen.size(), period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriod,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(Lfsr, ZeroSeedIsRepaired) {
+  bitops::Lfsr lfsr(8, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, RejectsUnsupportedWidth) {
+  EXPECT_THROW(bitops::Lfsr(3, 1), std::invalid_argument);
+  EXPECT_THROW(bitops::Lfsr(17, 1), std::invalid_argument);
+}
+
+TEST(StochasticNumberGenerator, BitProbabilityTracksThreshold) {
+  // Over a full period, an SNG emits exactly `threshold` ones (the LFSR
+  // visits every nonzero state once).
+  const int w = 8;
+  for (std::uint32_t threshold : {0u, 32u, 128u, 255u}) {
+    bitops::StochasticNumberGenerator sng(w, threshold, 1);
+    int ones = 0;
+    const int period = (1 << w) - 1;
+    for (int i = 0; i < period; ++i) ones += sng.next_bit() ? 1 : 0;
+    EXPECT_EQ(ones, static_cast<int>(threshold));
+  }
+}

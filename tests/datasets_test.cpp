@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pmlp/datasets/csv.hpp"
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+
+namespace ds = pmlp::datasets;
+
+namespace {
+
+ds::Dataset tiny_dataset() {
+  ds::Dataset d;
+  d.name = "tiny";
+  d.n_features = 2;
+  d.n_classes = 2;
+  // 8 samples, 4 per class.
+  for (int i = 0; i < 8; ++i) {
+    d.features.push_back(i * 0.1);
+    d.features.push_back(1.0 - i * 0.1);
+    d.labels.push_back(i % 2);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  auto d = tiny_dataset();
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, ValidateRejectsBadLabel) {
+  auto d = tiny_dataset();
+  d.labels[0] = 7;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsSizeMismatch) {
+  auto d = tiny_dataset();
+  d.features.pop_back();
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto d = tiny_dataset();
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{4, 4}));
+}
+
+TEST(NormalizeMinMax, MapsColumnsToUnitRange) {
+  ds::Dataset d;
+  d.name = "n";
+  d.n_features = 2;
+  d.n_classes = 2;
+  d.features = {-5.0, 100.0, 0.0, 200.0, 5.0, 300.0};
+  d.labels = {0, 1, 0};
+  ds::normalize_min_max(d);
+  EXPECT_DOUBLE_EQ(d.features[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.features[4], 1.0);
+  EXPECT_DOUBLE_EQ(d.features[2], 0.5);
+  EXPECT_DOUBLE_EQ(d.features[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.features[5], 1.0);
+}
+
+TEST(NormalizeMinMax, ConstantColumnBecomesZero) {
+  ds::Dataset d;
+  d.name = "c";
+  d.n_features = 1;
+  d.n_classes = 2;
+  d.features = {3.0, 3.0, 3.0};
+  d.labels = {0, 1, 0};
+  ds::normalize_min_max(d);
+  for (double v : d.features) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  const auto spec = ds::cardio_spec();
+  const auto d = ds::generate(spec);
+  const auto split = ds::stratified_split(d, 0.7, 1);
+  ASSERT_GT(split.test.size(), 0u);
+  const auto full = d.class_counts();
+  const auto train = split.train.class_counts();
+  for (int c = 0; c < d.n_classes; ++c) {
+    const double frac = static_cast<double>(train[static_cast<std::size_t>(c)]) /
+                        static_cast<double>(full[static_cast<std::size_t>(c)]);
+    EXPECT_NEAR(frac, 0.7, 0.05) << "class " << c;
+  }
+  EXPECT_EQ(split.train.size() + split.test.size(), d.size());
+}
+
+TEST(StratifiedSplit, EveryClassOnBothSides) {
+  const auto d = ds::generate(ds::red_wine_spec());
+  const auto split = ds::stratified_split(d, 0.7, 3);
+  const auto tr = split.train.class_counts();
+  const auto te = split.test.class_counts();
+  for (int c = 0; c < d.n_classes; ++c) {
+    const auto full = d.class_counts()[static_cast<std::size_t>(c)];
+    if (full >= 2) {
+      EXPECT_GE(tr[static_cast<std::size_t>(c)], 1u) << c;
+      EXPECT_GE(te[static_cast<std::size_t>(c)], 1u) << c;
+    }
+  }
+}
+
+TEST(StratifiedSplit, DeterministicInSeed) {
+  const auto d = ds::generate(ds::breast_cancer_spec());
+  const auto s1 = ds::stratified_split(d, 0.7, 42);
+  const auto s2 = ds::stratified_split(d, 0.7, 42);
+  EXPECT_EQ(s1.train.labels, s2.train.labels);
+  EXPECT_EQ(s1.train.features, s2.train.features);
+  const auto s3 = ds::stratified_split(d, 0.7, 43);
+  EXPECT_NE(s1.train.labels, s3.train.labels);
+}
+
+TEST(StratifiedSplit, RejectsBadFraction) {
+  const auto d = tiny_dataset();
+  EXPECT_THROW((void)ds::stratified_split(d, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)ds::stratified_split(d, 1.0, 1), std::invalid_argument);
+}
+
+TEST(QuantizeInputs, CodesWithinBits) {
+  const auto d = ds::generate(ds::breast_cancer_spec());
+  const auto q = ds::quantize_inputs(d, 4);
+  EXPECT_EQ(q.input_bits, 4);
+  EXPECT_EQ(q.size(), d.size());
+  for (auto code : q.codes) EXPECT_LE(code, 15);
+}
+
+TEST(QuantizeInputs, RejectsBadBits) {
+  const auto d = tiny_dataset();
+  EXPECT_THROW((void)ds::quantize_inputs(d, 0), std::invalid_argument);
+  EXPECT_THROW((void)ds::quantize_inputs(d, 9), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- synthetic
+
+class PaperSuiteShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperSuiteShape, MatchesPaperDatasets) {
+  const auto specs = ds::paper_suite();
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const auto d = ds::generate(spec);
+  EXPECT_EQ(d.n_features, spec.n_features);
+  EXPECT_EQ(d.n_classes, spec.n_classes);
+  EXPECT_EQ(d.size(), spec.n_samples);
+  // Normalized features.
+  for (double v : d.features) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Every class represented.
+  for (auto c : d.class_counts()) EXPECT_GT(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, PaperSuiteShape,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Synthetic, DeterministicInSeed) {
+  const auto d1 = ds::generate(ds::cardio_spec());
+  const auto d2 = ds::generate(ds::cardio_spec());
+  EXPECT_EQ(d1.features, d2.features);
+  EXPECT_EQ(d1.labels, d2.labels);
+}
+
+TEST(Synthetic, SeparationControlsDifficulty) {
+  // Sanity: larger separation must yield a larger nearest-centroid margin
+  // (checked indirectly by the fraction of samples whose nearest class
+  // centroid matches their label).
+  auto eval = [](double separation) {
+    auto spec = ds::breast_cancer_spec();
+    spec.separation = separation;
+    const auto d = ds::generate(spec);
+    // Class centroids.
+    std::vector<std::vector<double>> centroids(
+        static_cast<std::size_t>(d.n_classes),
+        std::vector<double>(static_cast<std::size_t>(d.n_features), 0.0));
+    auto counts = d.class_counts();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const auto row = d.row(i);
+      auto& c = centroids[static_cast<std::size_t>(d.labels[i])];
+      for (int j = 0; j < d.n_features; ++j) c[static_cast<std::size_t>(j)] += row[j];
+    }
+    for (int y = 0; y < d.n_classes; ++y) {
+      for (auto& v : centroids[static_cast<std::size_t>(y)]) {
+        v /= static_cast<double>(counts[static_cast<std::size_t>(y)]);
+      }
+    }
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const auto row = d.row(i);
+      int best = 0;
+      double best_d = 1e30;
+      for (int y = 0; y < d.n_classes; ++y) {
+        double dist = 0;
+        for (int j = 0; j < d.n_features; ++j) {
+          const double delta =
+              row[j] - centroids[static_cast<std::size_t>(y)][static_cast<std::size_t>(j)];
+          dist += delta * delta;
+        }
+        if (dist < best_d) {
+          best_d = dist;
+          best = y;
+        }
+      }
+      if (best == d.labels[i]) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(d.size());
+  };
+  EXPECT_GT(eval(4.0), eval(0.5) + 0.1);
+}
+
+TEST(Synthetic, RejectsBadPriors) {
+  auto spec = ds::breast_cancer_spec();
+  spec.class_priors = {1.0};  // wrong size
+  EXPECT_THROW((void)ds::generate(spec), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST(Csv, ParsesBasicFile) {
+  const std::string text = "0.1,0.2,3\n0.4,0.5,5\n0.7,0.8,3\n";
+  const auto d = ds::parse_csv(text, "t");
+  EXPECT_EQ(d.n_features, 2);
+  EXPECT_EQ(d.n_classes, 2);  // labels {3,5} reindexed to {0,1}
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 1, 0}));
+  EXPECT_DOUBLE_EQ(d.features[2], 0.4);
+}
+
+TEST(Csv, HeaderSkipped) {
+  const std::string text = "a,b,label\n1,2,0\n3,4,1\n";
+  ds::CsvOptions opts;
+  opts.has_header = true;
+  const auto d = ds::parse_csv(text, "t", opts);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_THROW((void)ds::parse_csv("1,2,0\n1,0\n", "t"), std::invalid_argument);
+}
+
+TEST(Csv, RejectsNonNumeric) {
+  EXPECT_THROW((void)ds::parse_csv("1,abc,0\n", "t"), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmpty) {
+  EXPECT_THROW((void)ds::parse_csv("", "t"), std::invalid_argument);
+}
+
+TEST(Csv, WindowsLineEndings) {
+  const auto d = ds::parse_csv("1,2,0\r\n3,4,1\r\n", "t");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.features[3], 4.0);
+}

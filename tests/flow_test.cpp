@@ -1,0 +1,92 @@
+// Tests for the end-to-end library flow (flow.hpp).
+#include <gtest/gtest.h>
+
+#include "pmlp/core/flow.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+
+namespace core = pmlp::core;
+namespace ds = pmlp::datasets;
+
+namespace {
+
+core::FlowConfig small_cfg() {
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 60;
+  cfg.backprop.seed = 61;
+  cfg.trainer.ga.population = 30;
+  cfg.trainer.ga.generations = 25;
+  cfg.trainer.ga.seed = 61;
+  cfg.hardware.equivalence_samples = 16;
+  return cfg;
+}
+
+const core::FlowResult& bc_flow() {
+  static const core::FlowResult r = [] {
+    auto spec = ds::breast_cancer_spec();
+    spec.n_samples = 280;
+    return core::run_flow(ds::generate(spec),
+                          pmlp::mlp::Topology{{10, 3, 2}}, small_cfg());
+  }();
+  return r;
+}
+
+}  // namespace
+
+TEST(Flow, BaselineArtifactsConsistent) {
+  const auto& b = bc_flow().baseline;
+  EXPECT_EQ(b.train.size() + b.test.size(), 280u);
+  EXPECT_GT(b.baseline_train_accuracy, 0.85);
+  EXPECT_GT(b.baseline_test_accuracy, 0.80);
+  EXPECT_GT(b.baseline_cost.area_mm2, 0.0);
+  EXPECT_EQ(b.baseline.topology().layers,
+            (std::vector<int>{10, 3, 2}));
+}
+
+TEST(Flow, ProducesVerifiedParetoAndPick) {
+  const auto& r = bc_flow();
+  ASSERT_FALSE(r.evaluated.empty());
+  for (const auto& p : r.evaluated) EXPECT_TRUE(p.functional_match);
+  ASSERT_FALSE(r.front.empty());
+  EXPECT_LE(r.front.size(), r.evaluated.size());
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GE(r.best->test_accuracy,
+            r.baseline.baseline_test_accuracy - 0.05 - 1e-9);
+  EXPECT_GT(r.area_reduction, 1.0);
+  EXPECT_GT(r.power_reduction, 1.0);
+}
+
+TEST(Flow, RefinementFlagReducesOrEqualsArea) {
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 240;
+  const auto data = ds::generate(spec);
+  auto cfg = small_cfg();
+  cfg.refine = false;
+  const auto plain =
+      core::run_flow(data, pmlp::mlp::Topology{{10, 3, 2}}, cfg);
+  cfg.refine = true;
+  const auto refined =
+      core::run_flow(data, pmlp::mlp::Topology{{10, 3, 2}}, cfg);
+  // The refined run's minimum front area can only be <= the plain run's
+  // (same GA trajectory, refinement is monotone on every point).
+  ASSERT_FALSE(plain.front.empty());
+  ASSERT_FALSE(refined.front.empty());
+  EXPECT_LE(refined.front.front().cost.area_mm2,
+            plain.front.front().cost.area_mm2 + 1e-9);
+}
+
+TEST(Flow, DeterministicInSeeds) {
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 200;
+  const auto data = ds::generate(spec);
+  const auto r1 = core::run_flow(data, pmlp::mlp::Topology{{10, 3, 2}},
+                                 small_cfg());
+  const auto r2 = core::run_flow(data, pmlp::mlp::Topology{{10, 3, 2}},
+                                 small_cfg());
+  ASSERT_EQ(r1.evaluated.size(), r2.evaluated.size());
+  for (std::size_t i = 0; i < r1.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.evaluated[i].cost.area_mm2,
+                     r2.evaluated[i].cost.area_mm2);
+    EXPECT_DOUBLE_EQ(r1.evaluated[i].test_accuracy,
+                     r2.evaluated[i].test_accuracy);
+  }
+}

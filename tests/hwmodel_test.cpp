@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "pmlp/hwmodel/cells.hpp"
+#include "pmlp/hwmodel/power.hpp"
+
+namespace hw = pmlp::hwmodel;
+
+TEST(CellLibrary, AllCellsHavePositiveParams) {
+  const auto& lib = hw::CellLibrary::egfet_1v();
+  for (std::size_t t = 0; t < hw::kNumCellTypes; ++t) {
+    const auto& p = lib.cell(static_cast<hw::CellType>(t));
+    EXPECT_GT(p.area_mm2, 0.0) << hw::cell_name(static_cast<hw::CellType>(t));
+    EXPECT_GT(p.power_uw, 0.0);
+    EXPECT_GT(p.delay_us, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(lib.supply_voltage(), 1.0);
+}
+
+TEST(CellLibrary, RelativeCostsFollowComplexity) {
+  const auto& lib = hw::CellLibrary::egfet_1v();
+  // A full adder must cost more than a half adder, which costs more than
+  // an XOR, which costs more than an inverter.
+  EXPECT_GT(lib.cell(hw::CellType::kFullAdder).area_mm2,
+            lib.cell(hw::CellType::kHalfAdder).area_mm2);
+  EXPECT_GT(lib.cell(hw::CellType::kHalfAdder).area_mm2,
+            lib.cell(hw::CellType::kXor2).area_mm2);
+  EXPECT_GT(lib.cell(hw::CellType::kXor2).area_mm2,
+            lib.cell(hw::CellType::kNot).area_mm2);
+}
+
+TEST(CellLibrary, VoltageScalingShape) {
+  const auto& lib = hw::CellLibrary::egfet_1v();
+  const auto low = lib.at_voltage(0.6);
+  EXPECT_DOUBLE_EQ(low.supply_voltage(), 0.6);
+  for (std::size_t t = 0; t < hw::kNumCellTypes; ++t) {
+    const auto ct = static_cast<hw::CellType>(t);
+    // Area unchanged, power shrinks ~V^3, delay grows.
+    EXPECT_DOUBLE_EQ(low.cell(ct).area_mm2, lib.cell(ct).area_mm2);
+    EXPECT_NEAR(low.cell(ct).power_uw / lib.cell(ct).power_uw, 0.216, 1e-9);
+    EXPECT_GT(low.cell(ct).delay_us, lib.cell(ct).delay_us);
+  }
+}
+
+TEST(CellLibrary, VoltageScalingGivesPaperExtraGain) {
+  // §V-C: 912x total power gain at 0.6 V vs 203x at 1 V => ~4.5x extra.
+  const auto& lib = hw::CellLibrary::egfet_1v();
+  const auto low = lib.at_voltage(0.6);
+  const double extra = lib.cell(hw::CellType::kFullAdder).power_uw /
+                       low.cell(hw::CellType::kFullAdder).power_uw;
+  EXPECT_NEAR(extra, 4.6, 0.2);
+}
+
+TEST(CellLibrary, RejectsOutOfRangeVoltage) {
+  const auto& lib = hw::CellLibrary::egfet_1v();
+  EXPECT_THROW((void)lib.at_voltage(0.4), std::invalid_argument);
+  EXPECT_THROW((void)lib.at_voltage(1.3), std::invalid_argument);
+}
+
+TEST(CircuitCost, UnitConversions) {
+  hw::CircuitCost c;
+  c.area_mm2 = 1234.0;
+  c.power_uw = 56789.0;
+  EXPECT_DOUBLE_EQ(c.area_cm2(), 12.34);
+  EXPECT_DOUBLE_EQ(c.power_mw(), 56.789);
+}
+
+TEST(PowerSources, OrderedByCapacity) {
+  const auto& sources = hw::printed_power_sources();
+  ASSERT_EQ(sources.size(), 4u);
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    EXPECT_GT(sources[i].max_power_mw, sources[i - 1].max_power_mw);
+  }
+  EXPECT_DOUBLE_EQ(sources[1].max_power_mw, 5.0);   // Blue Spark
+  EXPECT_DOUBLE_EQ(sources[2].max_power_mw, 15.0);  // Zinergy
+  EXPECT_DOUBLE_EQ(sources[3].max_power_mw, 30.0);  // Molex
+}
+
+TEST(Feasibility, PaperTable2Classification) {
+  // Our Table II circuits at 1 V: BC 0.04cm2/0.15mW and RW/WW fit the
+  // harvester; Cardio (6.5 mW) needs Zinergy; Pendigits (40.2 mW) has no
+  // adequate printed source.
+  using hw::FeasibilityZone;
+  EXPECT_EQ(hw::classify_feasibility(0.04, 0.15), FeasibilityZone::kHarvester);
+  EXPECT_EQ(hw::classify_feasibility(0.20, 0.74), FeasibilityZone::kHarvester);
+  EXPECT_EQ(hw::classify_feasibility(1.73, 6.5),
+            FeasibilityZone::kZinergy15mW);
+  EXPECT_EQ(hw::classify_feasibility(12.7, 40.2),
+            FeasibilityZone::kNoPowerSource);
+}
+
+TEST(Feasibility, UnsustainableAreaDominates) {
+  EXPECT_EQ(hw::classify_feasibility(33.4, 1.0),
+            hw::FeasibilityZone::kUnsustainableArea);
+}
+
+TEST(Feasibility, BoundariesInclusive) {
+  EXPECT_EQ(hw::classify_feasibility(1.0, 5.0),
+            hw::FeasibilityZone::kBlueSpark5mW);
+  EXPECT_EQ(hw::classify_feasibility(1.0, 15.0),
+            hw::FeasibilityZone::kZinergy15mW);
+  EXPECT_EQ(hw::classify_feasibility(1.0, 30.0),
+            hw::FeasibilityZone::kMolex30mW);
+  EXPECT_EQ(hw::classify_feasibility(1.0, 30.01),
+            hw::FeasibilityZone::kNoPowerSource);
+}
+
+TEST(Feasibility, SmallestAdequateSource) {
+  const auto s = hw::smallest_adequate_source(6.5);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->name, "Zinergy");
+  EXPECT_FALSE(hw::smallest_adequate_source(40.2).has_value());
+}
+
+TEST(Feasibility, ZoneNamesAreStable) {
+  EXPECT_EQ(hw::zone_name(hw::FeasibilityZone::kHarvester), "Harvester");
+  EXPECT_EQ(hw::zone_name(hw::FeasibilityZone::kUnsustainableArea),
+            "Unsustainable area");
+}

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pmlp/nsga2/nsga2.hpp"
+
+namespace nsga2 = pmlp::nsga2;
+
+namespace {
+
+nsga2::Individual make_ind(std::vector<double> objs, double violation = 0.0) {
+  nsga2::Individual ind;
+  ind.objectives = std::move(objs);
+  ind.constraint_violation = violation;
+  return ind;
+}
+
+/// Discrete bi-objective test problem: genes g_i in [0, 10];
+/// f1 = sum(g), f2 = sum((10 - g)) — the whole diagonal is Pareto-optimal,
+/// so convergence and spread are easy to quantify.
+class LinearTradeoff final : public nsga2::Problem {
+ public:
+  explicit LinearTradeoff(int n = 8) : n_(n) {}
+  [[nodiscard]] int n_genes() const override { return n_; }
+  [[nodiscard]] nsga2::GeneBounds bounds(int) const override { return {0, 10}; }
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override {
+    double f1 = 0, f2 = 0;
+    for (int g : genes) {
+      f1 += g;
+      f2 += 10 - g;
+    }
+    return {{f1, f2}, 0.0};
+  }
+
+ private:
+  int n_;
+};
+
+/// Problem with a constraint: f1 must be >= 20 (violation otherwise).
+class ConstrainedTradeoff final : public nsga2::Problem {
+ public:
+  [[nodiscard]] int n_genes() const override { return 6; }
+  [[nodiscard]] nsga2::GeneBounds bounds(int) const override { return {0, 10}; }
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override {
+    double f1 = 0, f2 = 0;
+    for (int g : genes) {
+      f1 += g;
+      f2 += 10 - g;
+    }
+    return {{f1, f2}, std::max(0.0, 20.0 - f1)};
+  }
+};
+
+/// Problem exposing seeding.
+class SeededProblem final : public nsga2::Problem {
+ public:
+  [[nodiscard]] int n_genes() const override { return 4; }
+  [[nodiscard]] nsga2::GeneBounds bounds(int) const override { return {0, 5}; }
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override {
+    double f1 = 0;
+    for (int g : genes) f1 += g;
+    return {{f1, -f1}, 0.0};
+  }
+  [[nodiscard]] std::vector<std::vector<int>> seed_individuals(
+      int) const override {
+    return {{5, 5, 5, 5}, {9, -3, 2, 2}};  // second is out of bounds
+  }
+};
+
+}  // namespace
+
+TEST(Dominates, ParetoRules) {
+  const auto a = make_ind({1.0, 2.0});
+  const auto b = make_ind({2.0, 3.0});
+  const auto c = make_ind({2.0, 1.0});
+  EXPECT_TRUE(nsga2::dominates(a, b));
+  EXPECT_FALSE(nsga2::dominates(b, a));
+  EXPECT_FALSE(nsga2::dominates(a, c));
+  EXPECT_FALSE(nsga2::dominates(c, a));
+  EXPECT_FALSE(nsga2::dominates(a, a));  // equal never dominates
+}
+
+TEST(Dominates, ConstraintDomination) {
+  const auto feas = make_ind({9.0, 9.0}, 0.0);
+  const auto infeas_small = make_ind({1.0, 1.0}, 0.5);
+  const auto infeas_big = make_ind({0.0, 0.0}, 2.0);
+  EXPECT_TRUE(nsga2::dominates(feas, infeas_small));
+  EXPECT_FALSE(nsga2::dominates(infeas_small, feas));
+  EXPECT_TRUE(nsga2::dominates(infeas_small, infeas_big));
+}
+
+TEST(FastNonDominatedSort, KnownFronts) {
+  std::vector<nsga2::Individual> pop = {
+      make_ind({1, 5}), make_ind({2, 3}), make_ind({4, 1}),  // front 0
+      make_ind({2, 6}), make_ind({3, 4}),                    // front 1
+      make_ind({5, 5}),                                      // front 2
+  };
+  const int fronts = nsga2::fast_non_dominated_sort(pop);
+  EXPECT_EQ(fronts, 3);
+  EXPECT_EQ(pop[0].rank, 0);
+  EXPECT_EQ(pop[1].rank, 0);
+  EXPECT_EQ(pop[2].rank, 0);
+  EXPECT_EQ(pop[3].rank, 1);
+  EXPECT_EQ(pop[4].rank, 1);
+  EXPECT_EQ(pop[5].rank, 2);
+}
+
+TEST(CrowdingDistance, BoundaryPointsInfinite) {
+  std::vector<nsga2::Individual> pop = {
+      make_ind({1, 5}), make_ind({2, 3}), make_ind({4, 1})};
+  nsga2::fast_non_dominated_sort(pop);
+  nsga2::assign_crowding_distances(pop);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[2].crowding));
+  EXPECT_TRUE(std::isfinite(pop[1].crowding));
+  EXPECT_GT(pop[1].crowding, 0.0);
+}
+
+TEST(ExtractParetoFront, DropsInfeasibleAndDuplicates) {
+  std::vector<nsga2::Individual> pop = {
+      make_ind({1, 5}), make_ind({1, 5}),  // duplicate objectives
+      make_ind({0, 0}, 1.0),               // infeasible (would dominate)
+      make_ind({2, 3})};
+  const auto front = nsga2::extract_pareto_front(pop);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0].objectives, (std::vector<double>{1, 5}));
+  EXPECT_EQ(front[1].objectives, (std::vector<double>{2, 3}));
+}
+
+TEST(Optimize, ConvergesToLinearFront) {
+  LinearTradeoff problem(8);
+  nsga2::Config cfg;
+  cfg.population = 40;
+  cfg.generations = 40;
+  cfg.seed = 1;
+  const auto res = nsga2::optimize(problem, cfg);
+  EXPECT_EQ(res.evaluations, 40 + 40 * 40);
+  ASSERT_FALSE(res.pareto_front.empty());
+  // Every point on the true front satisfies f1 + f2 == 80.
+  for (const auto& ind : res.pareto_front) {
+    EXPECT_DOUBLE_EQ(ind.objectives[0] + ind.objectives[1], 80.0);
+  }
+  // The front should spread over a substantial objective range.
+  double lo = 1e9, hi = -1e9;
+  for (const auto& ind : res.pareto_front) {
+    lo = std::min(lo, ind.objectives[0]);
+    hi = std::max(hi, ind.objectives[0]);
+  }
+  EXPECT_GT(hi - lo, 20.0);
+}
+
+TEST(Optimize, DeterministicInSeed) {
+  LinearTradeoff problem(5);
+  nsga2::Config cfg;
+  cfg.population = 20;
+  cfg.generations = 10;
+  cfg.seed = 123;
+  const auto r1 = nsga2::optimize(problem, cfg);
+  const auto r2 = nsga2::optimize(problem, cfg);
+  ASSERT_EQ(r1.pareto_front.size(), r2.pareto_front.size());
+  for (std::size_t i = 0; i < r1.pareto_front.size(); ++i) {
+    EXPECT_EQ(r1.pareto_front[i].genes, r2.pareto_front[i].genes);
+  }
+}
+
+TEST(Optimize, ParallelEvaluationMatchesSerial) {
+  LinearTradeoff problem(6);
+  nsga2::Config cfg;
+  cfg.population = 24;
+  cfg.generations = 8;
+  cfg.seed = 9;
+  cfg.n_threads = 1;
+  const auto serial = nsga2::optimize(problem, cfg);
+  cfg.n_threads = 4;
+  const auto parallel = nsga2::optimize(problem, cfg);
+  ASSERT_EQ(serial.pareto_front.size(), parallel.pareto_front.size());
+  for (std::size_t i = 0; i < serial.pareto_front.size(); ++i) {
+    EXPECT_EQ(serial.pareto_front[i].genes, parallel.pareto_front[i].genes);
+  }
+}
+
+TEST(Optimize, RespectsConstraints) {
+  ConstrainedTradeoff problem;
+  nsga2::Config cfg;
+  cfg.population = 40;
+  cfg.generations = 30;
+  cfg.seed = 4;
+  const auto res = nsga2::optimize(problem, cfg);
+  ASSERT_FALSE(res.pareto_front.empty());
+  for (const auto& ind : res.pareto_front) {
+    EXPECT_GE(ind.objectives[0], 20.0);  // constraint satisfied
+  }
+}
+
+TEST(Optimize, UsesAndClampsSeeds) {
+  SeededProblem problem;
+  nsga2::Config cfg;
+  cfg.population = 8;
+  cfg.generations = 0;
+  cfg.seed = 2;
+  const auto res = nsga2::optimize(problem, cfg);
+  // Gen 0 population contains the seeded all-fives individual.
+  bool found = false;
+  for (const auto& ind : res.population) {
+    if (ind.genes == std::vector<int>{5, 5, 5, 5}) found = true;
+    for (std::size_t g = 0; g < ind.genes.size(); ++g) {
+      EXPECT_GE(ind.genes[g], 0);
+      EXPECT_LE(ind.genes[g], 5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Optimize, RejectsBadConfig) {
+  LinearTradeoff problem(4);
+  nsga2::Config cfg;
+  cfg.population = 3;  // odd and too small
+  EXPECT_THROW((void)nsga2::optimize(problem, cfg), std::invalid_argument);
+}
+
+TEST(Optimize, GenerationCallbackFires) {
+  LinearTradeoff problem(4);
+  nsga2::Config cfg;
+  cfg.population = 8;
+  cfg.generations = 5;
+  int calls = 0;
+  cfg.on_generation = [&](int gen, const std::vector<nsga2::Individual>& pop) {
+    EXPECT_EQ(gen, calls);
+    EXPECT_EQ(pop.size(), 8u);
+    ++calls;
+  };
+  (void)nsga2::optimize(problem, cfg);
+  EXPECT_EQ(calls, 5);
+}
+
+class CrossoverKinds
+    : public ::testing::TestWithParam<nsga2::CrossoverKind> {};
+
+TEST_P(CrossoverKinds, AllKindsConverge) {
+  LinearTradeoff problem(6);
+  nsga2::Config cfg;
+  cfg.population = 24;
+  cfg.generations = 25;
+  cfg.crossover = GetParam();
+  cfg.seed = 11;
+  const auto res = nsga2::optimize(problem, cfg);
+  ASSERT_FALSE(res.pareto_front.empty());
+  for (const auto& ind : res.pareto_front) {
+    EXPECT_DOUBLE_EQ(ind.objectives[0] + ind.objectives[1], 60.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CrossoverKinds,
+                         ::testing::Values(nsga2::CrossoverKind::kUniform,
+                                           nsga2::CrossoverKind::kOnePoint,
+                                           nsga2::CrossoverKind::kTwoPoint));

@@ -1,0 +1,177 @@
+// Tests for model serialization (serialize.hpp) and greedy refinement
+// (refine.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+
+#include "pmlp/core/chromosome.hpp"
+#include "pmlp/core/refine.hpp"
+#include "pmlp/core/serialize.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/mlp/backprop.hpp"
+
+namespace core = pmlp::core;
+namespace ds = pmlp::datasets;
+namespace mlp = pmlp::mlp;
+
+namespace {
+
+core::ApproxMlp random_model(std::uint64_t seed,
+                             const mlp::Topology& topo = {{5, 3, 2}}) {
+  core::ChromosomeCodec codec(topo, core::BitConfig{});
+  std::mt19937_64 rng(seed);
+  std::vector<int> genes(static_cast<std::size_t>(codec.n_genes()));
+  for (int g = 0; g < codec.n_genes(); ++g) {
+    const auto b = codec.bounds(g);
+    genes[static_cast<std::size_t>(g)] =
+        b.lo + static_cast<int>(rng() % static_cast<unsigned>(b.hi - b.lo + 1));
+  }
+  return codec.decode(genes);
+}
+
+}  // namespace
+
+TEST(Serialize, TextRoundTripPreservesEverything) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto net = random_model(seed);
+    const auto restored = core::from_text(core::to_text(net));
+    ASSERT_EQ(restored.topology().layers, net.topology().layers);
+    EXPECT_EQ(restored.bits().weight_bits, net.bits().weight_bits);
+    EXPECT_EQ(restored.bits().bias_bits, net.bits().bias_bits);
+    for (std::size_t l = 0; l < net.layers().size(); ++l) {
+      const auto& a = net.layers()[l];
+      const auto& b = restored.layers()[l];
+      EXPECT_EQ(a.qrelu_shift, b.qrelu_shift);
+      for (int o = 0; o < a.n_out; ++o) {
+        EXPECT_EQ(a.biases[static_cast<std::size_t>(o)],
+                  b.biases[static_cast<std::size_t>(o)]);
+        for (int i = 0; i < a.n_in; ++i) {
+          EXPECT_EQ(a.conn(o, i).mask, b.conn(o, i).mask);
+          EXPECT_EQ(a.conn(o, i).sign, b.conn(o, i).sign);
+          EXPECT_EQ(a.conn(o, i).exponent, b.conn(o, i).exponent);
+        }
+      }
+    }
+  }
+}
+
+TEST(Serialize, RoundTripPreservesBehaviour) {
+  const auto net = random_model(7);
+  const auto restored = core::from_text(core::to_text(net));
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> x(5);
+    for (auto& v : x) v = static_cast<std::uint8_t>(rng() & 0xF);
+    EXPECT_EQ(restored.forward(x), net.forward(x));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto net = random_model(11);
+  const std::string path = "/tmp/pmlp_serialize_test.model";
+  core::save_model_file(net, path);
+  const auto restored = core::load_model_file(path);
+  EXPECT_EQ(core::to_text(restored), core::to_text(net));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW((void)core::from_text("wrong v1\n"), std::invalid_argument);
+  EXPECT_THROW((void)core::from_text("pmlp-approx-mlp v9\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::from_text(""), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsOutOfRangeValues) {
+  const auto net = random_model(13);
+  auto text = core::to_text(net);
+  // Corrupt a conn line with a huge exponent.
+  const auto pos = text.find("conn 0 0 ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "conn 0 0 3 1 99");
+  EXPECT_THROW((void)core::from_text(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsUnknownTag) {
+  const auto net = random_model(17);
+  EXPECT_THROW((void)core::from_text(core::to_text(net) + "garbage 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW((void)core::load_model_file("/nonexistent/x.model"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------------ refine
+
+namespace {
+
+struct RefineFixture {
+  ds::QuantizedDataset train;
+  core::ApproxMlp model;
+
+  static RefineFixture make() {
+    auto spec = ds::breast_cancer_spec();
+    spec.n_samples = 240;
+    auto raw = ds::generate(spec);
+    mlp::BackpropConfig bp;
+    bp.epochs = 60;
+    bp.seed = 51;
+    auto fnet = mlp::train_float_mlp(
+        mlp::Topology{{raw.n_features, 3, raw.n_classes}}, raw, bp);
+    auto baseline = mlp::QuantMlp::from_float(fnet);
+    return RefineFixture{
+        ds::quantize_inputs(raw, 4),
+        core::ApproxMlp::from_quant_baseline(baseline, core::BitConfig{})};
+  }
+};
+
+}  // namespace
+
+TEST(Refine, ReducesAreaWithoutBreachingFloor) {
+  auto f = RefineFixture::make();
+  const double base_acc = core::accuracy(f.model, f.train);
+  core::RefineConfig cfg;
+  cfg.accuracy_floor = base_acc - 0.03;
+  const auto report = core::refine_greedy(f.model, f.train, cfg);
+
+  EXPECT_LE(report.fa_after, report.fa_before);
+  EXPECT_GT(report.bits_cleared, 0);
+  EXPECT_GE(report.accuracy_after, cfg.accuracy_floor - 1e-12);
+  EXPECT_EQ(report.fa_after, f.model.fa_area());
+}
+
+TEST(Refine, StrictFloorBlocksChangesThatHurt) {
+  auto f = RefineFixture::make();
+  const double base_acc = core::accuracy(f.model, f.train);
+  core::RefineConfig cfg;
+  cfg.accuracy_floor = base_acc;  // no loss allowed at all
+  const auto report = core::refine_greedy(f.model, f.train, cfg);
+  EXPECT_GE(report.accuracy_after, base_acc - 1e-12);
+}
+
+TEST(Refine, IdempotentOnceConverged) {
+  auto f = RefineFixture::make();
+  core::RefineConfig cfg;
+  cfg.accuracy_floor = core::accuracy(f.model, f.train) - 0.03;
+  cfg.max_passes = 4;
+  (void)core::refine_greedy(f.model, f.train, cfg);
+  const long area = f.model.fa_area();
+  const auto second = core::refine_greedy(f.model, f.train, cfg);
+  EXPECT_EQ(second.fa_after, area);
+  EXPECT_EQ(second.bits_cleared, 0);
+}
+
+TEST(Refine, FullyPrunedModelUntouched) {
+  auto f = RefineFixture::make();
+  core::ApproxMlp empty(f.model.topology(), f.model.bits());
+  core::RefineConfig cfg;
+  cfg.accuracy_floor = 0.0;
+  const auto report = core::refine_greedy(empty, f.train, cfg);
+  EXPECT_EQ(report.fa_before, 0);
+  EXPECT_EQ(report.fa_after, 0);
+  EXPECT_EQ(report.bits_cleared, 0);
+}

@@ -1,0 +1,80 @@
+// Tests for the §V-C voltage/timing co-analysis.
+#include <gtest/gtest.h>
+
+#include "pmlp/hwmodel/timing.hpp"
+
+namespace hw = pmlp::hwmodel;
+
+namespace {
+
+hw::CircuitCost cost_with_delay(double delay_us) {
+  hw::CircuitCost c;
+  c.area_mm2 = 100.0;
+  c.power_uw = 1000.0;
+  c.critical_delay_us = delay_us;
+  c.cell_count = 10;
+  return c;
+}
+
+}  // namespace
+
+TEST(Timing, MeetsClockAtNominal) {
+  // 200 ms clock, 100 us path: enormous slack.
+  EXPECT_TRUE(hw::meets_clock(cost_with_delay(100.0), 1.0, 200.0));
+  // Path longer than the clock fails even at nominal supply.
+  EXPECT_FALSE(hw::meets_clock(cost_with_delay(300'000.0), 1.0, 200.0));
+}
+
+TEST(Timing, DelayGrowsAsVoltageDrops) {
+  // At 0.6 V delay scales by 1/0.36 = 2.78x: a path of 80 ms fits 200 ms
+  // at 1 V but not at 0.6 V.
+  const auto c = cost_with_delay(80'000.0);
+  EXPECT_TRUE(hw::meets_clock(c, 1.0, 200.0));
+  EXPECT_FALSE(hw::meets_clock(c, 0.6, 200.0));
+}
+
+TEST(Timing, RejectsOutOfRangeVoltage) {
+  EXPECT_THROW((void)hw::meets_clock(cost_with_delay(1.0), 0.3, 200.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)hw::meets_clock(cost_with_delay(1.0), 1.2, 200.0),
+               std::invalid_argument);
+}
+
+TEST(Timing, MinFeasibleVoltageFloorsAtEgfetLimit) {
+  // Tiny approximate circuits at printed clocks always reach 0.6 V —
+  // the paper's §V-C setting.
+  EXPECT_DOUBLE_EQ(hw::min_feasible_voltage(cost_with_delay(100.0), 200.0),
+                   hw::kEgfetMinVoltage);
+}
+
+TEST(Timing, MinFeasibleVoltageBinarySearch) {
+  // Path of 80 ms vs 200 ms clock: needs delay scale <= 2.5 => v >= 0.633.
+  const double v = hw::min_feasible_voltage(cost_with_delay(80'000.0), 200.0);
+  EXPECT_GT(v, hw::kEgfetMinVoltage);
+  EXPECT_LT(v, 0.66);
+  EXPECT_TRUE(hw::meets_clock(cost_with_delay(80'000.0), v, 200.0));
+}
+
+TEST(Timing, MinFeasibleVoltageNominalWhenInfeasible) {
+  // Even 1 V misses timing: report nominal so callers can flag it.
+  EXPECT_DOUBLE_EQ(
+      hw::min_feasible_voltage(cost_with_delay(300'000.0), 200.0), 1.0);
+}
+
+TEST(Timing, ScaleToMinVoltagePowerFollowsCube) {
+  const auto r = hw::scale_to_min_voltage(cost_with_delay(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(r.voltage, 0.6);
+  EXPECT_NEAR(r.power_uw, 1000.0 * 0.216, 1e-9);
+  EXPECT_GT(r.slack_ms, 0.0);
+}
+
+TEST(Timing, ScaleReportsSlack) {
+  const auto r = hw::scale_to_min_voltage(cost_with_delay(80'000.0), 200.0);
+  EXPECT_GE(r.slack_ms, 0.0);
+  EXPECT_NEAR(r.delay_us / 1000.0 + r.slack_ms, 200.0, 1e-6);
+}
+
+TEST(Timing, RejectsBadClock) {
+  EXPECT_THROW((void)hw::min_feasible_voltage(cost_with_delay(1.0), 0.0),
+               std::invalid_argument);
+}

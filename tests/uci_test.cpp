@@ -1,0 +1,146 @@
+// Tests for the real-data loaders (uci.hpp, exercised on synthetic fixture
+// files written to /tmp) and the dataset diagnostics (metrics.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "pmlp/datasets/metrics.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/datasets/uci.hpp"
+
+namespace ds = pmlp::datasets;
+
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = "/tmp/pmlp_uci_" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+}  // namespace
+
+TEST(Uci, BreastCancerDropsIdsAndMissing) {
+  // id, 9 features, label in {2,4}; one row has a missing value.
+  const auto path = write_temp(
+      "wbc.data",
+      "1000025,5,1,1,1,2,1,3,1,1,2\n"
+      "1002945,5,4,4,5,7,10,3,2,1,2\n"
+      "1015425,3,1,1,1,2,?,3,1,1,2\n"
+      "1016277,6,8,8,1,3,4,3,7,1,4\n");
+  const auto d = ds::load_uci_breast_cancer(path);
+  EXPECT_EQ(d.n_features, 9);
+  EXPECT_EQ(d.size(), 3u);  // '?' row dropped
+  EXPECT_EQ(d.n_classes, 2);
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 0, 1}));
+  for (double v : d.features) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Uci, WineUsesSemicolonsAndHeader) {
+  const auto path = write_temp(
+      "wine.csv",
+      "\"fixed acidity\";\"volatile\";\"quality\"\n"
+      "7.4;0.7;5\n"
+      "7.8;0.88;6\n"
+      "11.2;0.28;5\n");
+  const auto d = ds::load_uci_wine(path, "RedWine");
+  EXPECT_EQ(d.n_features, 2);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.n_classes, 2);  // {5,6} re-indexed
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 1, 0}));
+  std::remove(path.c_str());
+}
+
+TEST(Uci, PendigitsKeepsRawLabels) {
+  const auto path = write_temp(
+      "pendigits.tra",
+      "47,100,27,81,57,37,26,0,0,23,56,53,100,90,40,98,8\n"
+      "0,89,27,100,42,75,29,45,15,15,37,0,69,2,100,6,2\n");
+  const auto d = ds::load_uci_pendigits(path);
+  EXPECT_EQ(d.n_features, 16);
+  EXPECT_EQ(d.n_classes, 9);  // max label 8 -> classes 0..8
+  EXPECT_EQ(d.labels, (std::vector<int>{8, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(Uci, CardioSkipsHeader) {
+  const auto path = write_temp(
+      "ctg.csv",
+      "f1,f2,f3,NSP\n"
+      "1,2,3,1\n"
+      "4,5,6,2\n"
+      "7,8,9,3\n");
+  const auto d = ds::load_uci_cardio(path);
+  EXPECT_EQ(d.n_features, 3);
+  EXPECT_EQ(d.n_classes, 3);
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(Uci, DispatcherAndErrors) {
+  EXPECT_THROW((void)ds::load_uci("BreastCancer", "/nonexistent"),
+               std::runtime_error);
+  EXPECT_THROW((void)ds::load_uci("NoSuchDataset", "/tmp/x"),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, PriorsSumToOne) {
+  const auto d = ds::generate(ds::cardio_spec());
+  const auto m = ds::compute_metrics(d);
+  double sum = 0.0;
+  for (double p : m.class_priors) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Cardio priors are skewed toward class 0 (~0.78).
+  EXPECT_GT(m.class_priors[0], 0.7);
+}
+
+TEST(Metrics, CentroidAccuracyTracksDifficulty) {
+  const auto easy = ds::compute_metrics(ds::generate(ds::breast_cancer_spec()));
+  const auto hard = ds::compute_metrics(ds::generate(ds::white_wine_spec()));
+  // Unweighted Euclidean centroids dilute the concentrated signal, so the
+  // bound is looser than the MLP's ~0.98 — the easy/hard gap is the point.
+  EXPECT_GT(easy.nearest_centroid_accuracy, 0.8);
+  EXPECT_LT(hard.nearest_centroid_accuracy, 0.65);
+  EXPECT_GT(easy.nearest_centroid_accuracy,
+            hard.nearest_centroid_accuracy + 0.2);
+}
+
+TEST(Metrics, FisherScoresReflectFeatureConcentration) {
+  // The synthetic generators concentrate signal in low-index features;
+  // the Fisher profile must show it.
+  const auto d = ds::generate(ds::breast_cancer_spec());
+  const auto m = ds::compute_metrics(d);
+  ASSERT_EQ(m.fisher_scores.size(), 10u);
+  EXPECT_GT(m.fisher_scores[0], m.fisher_scores[9]);
+  EXPECT_GT(m.top3_signal_share, 0.4);
+}
+
+TEST(Metrics, NuisanceFeaturesScoreNearZero) {
+  auto spec = ds::red_wine_spec();
+  const auto d = ds::generate(spec);
+  const auto m = ds::compute_metrics(d);
+  // The trailing 35% of features are pure noise: their Fisher score must
+  // be far below the strongest feature's.
+  const double strongest =
+      *std::max_element(m.fisher_scores.begin(), m.fisher_scores.end());
+  EXPECT_GT(strongest, 10.0 * m.fisher_scores.back());
+}
+
+TEST(Metrics, CentroidsHaveExpectedShape) {
+  const auto d = ds::generate(ds::breast_cancer_spec());
+  const auto c = ds::class_centroids(d);
+  EXPECT_EQ(c.size(), static_cast<std::size_t>(d.n_classes * d.n_features));
+  for (double v : c) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}

@@ -1,0 +1,223 @@
+// pmlp — command-line front end for the printed-MLP GA-AxC framework.
+//
+//   pmlp list                         datasets and Table I topologies
+//   pmlp metrics <dataset>            dataset diagnostics (priors, Fisher)
+//   pmlp baseline <dataset>           exact bespoke baseline cost/accuracy
+//   pmlp train <dataset> [pop] [gens] [model-out]
+//                                     full Fig. 2 flow; saves the Table II
+//                                     pick as a .model file, prints front
+//   pmlp evaluate <model> <dataset>   re-score a saved model (acc, area,
+//                                     power, feasibility zone @1V/0.6V)
+//   pmlp export <model> <dataset> <out-prefix>
+//                                     Verilog DUT + self-checking testbench
+//
+// Datasets are the synthetic paper suite; swap in real UCI files by loading
+// through pmlp::datasets::load_uci in your own driver.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "pmlp/core/flow.hpp"
+#include "pmlp/core/serialize.hpp"
+#include "pmlp/datasets/metrics.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/hwmodel/power.hpp"
+#include "pmlp/mlp/topology.hpp"
+#include "pmlp/netlist/opt.hpp"
+#include "pmlp/netlist/testbench.hpp"
+#include "pmlp/netlist/verilog.hpp"
+
+namespace {
+
+using namespace pmlp;
+
+datasets::SyntheticSpec find_spec(const std::string& name) {
+  for (const auto& s : datasets::paper_suite()) {
+    if (s.name == name) return s;
+  }
+  throw std::runtime_error("unknown dataset '" + name +
+                           "'; try: pmlp list");
+}
+
+int cmd_list() {
+  std::cout << "dataset        topology   samples  classes  baseline-acc "
+               "(paper)\n";
+  for (const auto& row : mlp::paper_table1()) {
+    const auto spec = find_spec(row.dataset);
+    std::cout << row.dataset;
+    for (std::size_t i = row.dataset.size(); i < 15; ++i) std::cout << ' ';
+    std::cout << row.topology.to_string() << "   " << spec.n_samples
+              << "     " << spec.n_classes << "        " << row.accuracy
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_metrics(const std::string& dataset) {
+  const auto d = datasets::generate(find_spec(dataset));
+  const auto m = datasets::compute_metrics(d);
+  std::cout << dataset << ": " << d.size() << " samples, " << d.n_features
+            << " features, " << d.n_classes << " classes\n";
+  std::cout << "class priors:";
+  for (double p : m.class_priors) std::cout << ' ' << p;
+  std::cout << "\nnearest-centroid accuracy: " << m.nearest_centroid_accuracy
+            << "\nper-feature Fisher scores:";
+  for (double f : m.fisher_scores) std::cout << ' ' << f;
+  std::cout << "\ntop-3 feature signal share: " << m.top3_signal_share
+            << "\n";
+  return 0;
+}
+
+core::FlowConfig default_flow(int pop, int gens) {
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 150;
+  cfg.trainer.ga.population = pop;
+  cfg.trainer.ga.generations = gens;
+  cfg.trainer.ga.n_threads = 4;
+  return cfg;
+}
+
+int cmd_baseline(const std::string& dataset) {
+  const auto& row = mlp::paper_row(dataset);
+  const auto artifacts = core::build_baseline(
+      datasets::generate(find_spec(dataset)), row.topology,
+      default_flow(8, 1));
+  std::cout << dataset << " exact bespoke baseline [2]:\n"
+            << "  accuracy  " << artifacts.baseline_test_accuracy
+            << " (paper " << row.accuracy << ")\n"
+            << "  area      " << artifacts.baseline_cost.area_cm2()
+            << " cm2 (paper " << row.area_cm2 << ")\n"
+            << "  power     " << artifacts.baseline_cost.power_mw()
+            << " mW (paper " << row.power_mw << ")\n";
+  return 0;
+}
+
+int cmd_train(const std::string& dataset, int pop, int gens,
+              const std::string& model_out) {
+  const auto& row = mlp::paper_row(dataset);
+  std::cerr << "training " << dataset << " " << row.topology.to_string()
+            << " with NSGA-II " << pop << "x" << gens << "...\n";
+  const auto result = core::run_flow(datasets::generate(find_spec(dataset)),
+                                     row.topology, default_flow(pop, gens));
+  std::cout << "baseline: acc " << result.baseline.baseline_test_accuracy
+            << ", " << result.baseline.baseline_cost.area_cm2() << " cm2, "
+            << result.baseline.baseline_cost.power_mw() << " mW\n";
+  std::cout << "true Pareto front (" << result.front.size() << " points):\n";
+  std::cout << "  acc       area-cm2   power-mW   verified\n";
+  for (const auto& p : result.front) {
+    std::cout << "  " << p.test_accuracy << "   " << p.cost.area_cm2()
+              << "   " << p.cost.power_mw() << "   "
+              << (p.functional_match ? "yes" : "NO") << "\n";
+  }
+  if (!result.best) {
+    std::cout << "no design within 5% loss at this budget; raise gens\n";
+    return 1;
+  }
+  std::cout << "pick (min area within 5% loss): acc "
+            << result.best->test_accuracy << ", "
+            << result.best->cost.area_cm2() << " cm2 ("
+            << result.area_reduction << "x), "
+            << result.best->cost.power_mw() << " mW ("
+            << result.power_reduction << "x)\n";
+  if (!model_out.empty()) {
+    core::save_model_file(result.best->model, model_out);
+    std::cout << "saved " << model_out << "\n";
+  }
+  return 0;
+}
+
+/// Rebuild evaluation data exactly as the training flow splits it.
+datasets::QuantizedDataset test_split(const std::string& dataset,
+                                      const core::FlowConfig& cfg) {
+  const auto data = datasets::generate(find_spec(dataset));
+  auto split =
+      datasets::stratified_split(data, cfg.train_fraction, cfg.split_seed);
+  return datasets::quantize_inputs(split.test, cfg.trainer.bits.input_bits);
+}
+
+int cmd_evaluate(const std::string& model_path, const std::string& dataset) {
+  const auto model = core::load_model_file(model_path);
+  const auto test = test_split(dataset, default_flow(8, 1));
+  const double acc = core::accuracy(model, test);
+
+  const auto circuit =
+      netlist::build_bespoke_mlp(model.to_bespoke_desc("m"));
+  const auto& lib = hwmodel::CellLibrary::egfet_1v();
+  const auto cost = netlist::optimize(circuit.nl).cost(lib);
+  const auto cost06 =
+      netlist::optimize(circuit.nl).cost(lib.at_voltage(0.6));
+
+  std::cout << model_path << " on " << dataset << ":\n"
+            << "  accuracy " << acc << "\n"
+            << "  area     " << cost.area_cm2() << " cm2\n"
+            << "  power    " << cost.power_mw() << " mW @1.0V ("
+            << hwmodel::zone_name(hwmodel::classify_feasibility(
+                   cost.area_cm2(), cost.power_mw()))
+            << "), " << cost06.power_mw() << " mW @0.6V ("
+            << hwmodel::zone_name(hwmodel::classify_feasibility(
+                   cost06.area_cm2(), cost06.power_mw()))
+            << ")\n";
+  return 0;
+}
+
+int cmd_export(const std::string& model_path, const std::string& dataset,
+               const std::string& prefix) {
+  const auto model = core::load_model_file(model_path);
+  const auto test = test_split(dataset, default_flow(8, 1));
+
+  auto circuit = netlist::build_bespoke_mlp(model.to_bespoke_desc(prefix));
+  const auto golden =
+      netlist::build_bespoke_mlp(model.to_bespoke_desc(prefix));
+  circuit.nl = netlist::optimize(circuit.nl);
+  {
+    std::ofstream os(prefix + ".v");
+    netlist::emit_verilog(circuit.nl, prefix, os);
+  }
+  std::vector<std::uint8_t> codes;
+  const std::size_t n_vec = std::min<std::size_t>(test.size(), 64);
+  for (std::size_t i = 0; i < n_vec; ++i) {
+    const auto r = test.row(i);
+    codes.insert(codes.end(), r.begin(), r.end());
+  }
+  netlist::TestbenchOptions tb;
+  tb.dut_name = prefix;
+  {
+    std::ofstream os(prefix + "_tb.v");
+    netlist::emit_testbench(golden, test.n_features, codes, tb, os);
+  }
+  std::cout << "wrote " << prefix << ".v (" << circuit.nl.gates().size()
+            << " cells) and " << prefix << "_tb.v (" << n_vec
+            << " vectors)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: pmlp <list|metrics|baseline|train|evaluate|export> "
+               "[args...]\n(see the header of tools/pmlp_cli.cpp)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "metrics" && argc >= 3) return cmd_metrics(argv[2]);
+    if (cmd == "baseline" && argc >= 3) return cmd_baseline(argv[2]);
+    if (cmd == "train" && argc >= 3) {
+      const int pop = argc >= 4 ? std::atoi(argv[3]) : 80;
+      const int gens = argc >= 5 ? std::atoi(argv[4]) : 200;
+      const std::string out = argc >= 6 ? argv[5] : "";
+      return cmd_train(argv[2], pop, gens, out);
+    }
+    if (cmd == "evaluate" && argc >= 4) return cmd_evaluate(argv[2], argv[3]);
+    if (cmd == "export" && argc >= 5)
+      return cmd_export(argv[2], argv[3], argv[4]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
