@@ -130,7 +130,7 @@ int main() {
           core::train_ga_axc(p.paper.topology, p.train, p.baseline, cfg);
       nsga2::RandomSearchConfig rs;
       rs.evaluations = ga.evaluations;
-      rs.n_threads = cfg.ga.n_threads;
+      rs.n_threads = cfg.n_threads;
       const auto random = nsga2::random_search(problem, rs);
       std::vector<core::Point2> pts;
       for (const auto& ind : random.pareto_front) {

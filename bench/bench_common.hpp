@@ -6,7 +6,7 @@
 //   PMLP_POP   NSGA-II population          (default 60)
 //   PMLP_GENS  NSGA-II generations         (default 30)
 //   PMLP_EPOCHS backprop epochs            (default 150)
-//   PMLP_THREADS parallel GA evaluation    (default 4)
+//   PMLP_THREADS parallel GA evaluation    (default 0 = all hardware threads)
 //   PMLP_SC_SAMPLES stochastic-sim samples (default 200)
 // The paper's full-scale runs used ~26M evaluations; these defaults keep a
 // laptop run in minutes while preserving every trend (see EXPERIMENTS.md).

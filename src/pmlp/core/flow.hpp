@@ -20,7 +20,8 @@ struct FlowConfig {
   double train_fraction = 0.7;     ///< stratified split (paper §V-A)
   std::uint64_t split_seed = 1;
   mlp::BackpropConfig backprop;    ///< float/gradient training
-  TrainerConfig trainer;           ///< GA-AxC
+  TrainerConfig trainer;           ///< GA-AxC; trainer.n_threads is the
+                                   ///< flow-wide parallelism knob (0 = auto)
   bool refine = true;              ///< greedy post-GA refinement extension
   double refine_max_point_loss = 0.01;
   double report_max_loss = 0.05;   ///< Table II selection bound

@@ -73,7 +73,15 @@ RefineReport refine_greedy(ApproxMlp& net,
         }
         if (cfg.refine_biases) {
           auto& bias = layer.biases[static_cast<std::size_t>(o)];
-          const std::int64_t candidate = simplify_bias(bias);
+          // simplify_bias rounds up and can leave the representable range
+          // (e.g. 1983 -> 2048 with 12-bit biases), which load_model then
+          // rejects; keep the original bias in that case (clamping instead
+          // could yield a value with MORE set bits, defeating the pass).
+          std::int64_t candidate = simplify_bias(bias);
+          if (candidate < net.bits().bias_min() ||
+              candidate > net.bits().bias_max()) {
+            candidate = bias;
+          }
           if (candidate != bias) {
             const std::int64_t saved = bias;
             bias = candidate;

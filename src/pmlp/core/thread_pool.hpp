@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for the hot fitness-evaluation path.
+// Workers are started once and reused across generations, replacing the
+// seed's spawn-join-per-batch threading. Tasks start in FIFO submission
+// order; parallel_for partitions an index range statically so that result
+// placement (and therefore the whole NSGA-II run) is independent of thread
+// scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pmlp::core {
+
+/// Resolve a user-facing thread-count knob: 0 means "auto" (all hardware
+/// threads), anything else is clamped to >= 1.
+[[nodiscard]] int resolve_n_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// Starts `n_threads` workers; 0 means hardware_concurrency(). A pool of
+  /// size 1 still runs tasks on its single worker (submission order == start
+  /// order), which the tests rely on.
+  explicit ThreadPool(int n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; exceptions propagate through the returned future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Run fn(begin, end) over [0, n) split into size() contiguous chunks and
+  /// block until done. The first exception thrown by any chunk is rethrown
+  /// here. The calling thread only waits — chunks run on the workers.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pmlp::core

@@ -36,7 +36,9 @@ TrainingResult train_ga_axc(const mlp::Topology& topology,
   ChromosomeCodec codec(topology, cfg.bits);
   HwAwareProblem problem(codec, train, std::move(baseline), cfg.problem);
 
-  const nsga2::Result ga = nsga2::optimize(problem, cfg.ga);
+  nsga2::Config ga_cfg = cfg.ga;
+  ga_cfg.n_threads = cfg.n_threads;
+  const nsga2::Result ga = nsga2::optimize(problem, ga_cfg);
 
   TrainingResult result;
   result.estimated_pareto = collect_front(problem.codec(), ga.pareto_front);
@@ -107,7 +109,9 @@ TrainingResult train_ga_accuracy_only(const mlp::Topology& topology,
                                       const TrainerConfig& cfg) {
   ChromosomeCodec codec(topology, cfg.bits);
   AccuracyOnlyProblem problem(std::move(codec), train);
-  const nsga2::Result ga = nsga2::optimize(problem, cfg.ga);
+  nsga2::Config ga_cfg = cfg.ga;
+  ga_cfg.n_threads = cfg.n_threads;
+  const nsga2::Result ga = nsga2::optimize(problem, ga_cfg);
 
   TrainingResult result;
   result.estimated_pareto = collect_front(problem.codec(), ga.pareto_front);

@@ -15,6 +15,11 @@ struct TrainerConfig {
   nsga2::Config ga;        ///< population/generations/operators
   BitConfig bits;          ///< weight/input/activation/bias widths
   ProblemConfig problem;   ///< loss bound + doping
+  /// Parallel fitness evaluation for every engine the trainer runs:
+  /// 0 = all hardware threads, 1 = serial, N = N pool workers. This knob
+  /// supersedes ga.n_threads (it is copied over it before optimization);
+  /// results are bit-identical for any setting.
+  int n_threads = 0;
 };
 
 /// One point of the estimated Pareto set (training-time objectives).

@@ -1,12 +1,13 @@
 #include "pmlp/nsga2/nsga2.hpp"
 
 #include <algorithm>
+
+#include "pmlp/core/thread_pool.hpp"
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <random>
 #include <stdexcept>
-#include <thread>
 
 namespace pmlp::nsga2 {
 
@@ -124,34 +125,32 @@ std::vector<Individual> extract_pareto_front(std::vector<Individual> pop) {
   return front;
 }
 
-namespace {
+PopulationEvaluator::PopulationEvaluator(const Problem& problem, int n_threads)
+    : problem_(problem), n_threads_(core::resolve_n_threads(n_threads)) {
+  if (n_threads_ > 1) {
+    pool_ = std::make_unique<core::ThreadPool>(n_threads_);
+  }
+}
 
-/// Deterministic parallel evaluation: indices are partitioned statically.
-void evaluate_all(const Problem& problem, std::vector<Individual>& pop,
-                  int n_threads, long& evaluations) {
-  auto work = [&](std::size_t begin, std::size_t end) {
+PopulationEvaluator::~PopulationEvaluator() = default;
+
+long PopulationEvaluator::evaluate(std::span<Individual> pop) {
+  auto work = [this, pop](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      auto ev = problem.evaluate(pop[i].genes);
+      auto ev = problem_.evaluate(pop[i].genes);
       pop[i].objectives = std::move(ev.objectives);
       pop[i].constraint_violation = ev.constraint_violation;
     }
   };
-  const std::size_t n = pop.size();
-  if (n_threads <= 1 || n < 2) {
-    work(0, n);
+  if (pool_) {
+    pool_->parallel_for(pop.size(), work);
   } else {
-    const auto t = static_cast<std::size_t>(n_threads);
-    std::vector<std::thread> threads;
-    threads.reserve(t);
-    for (std::size_t k = 0; k < t; ++k) {
-      const std::size_t begin = n * k / t;
-      const std::size_t end = n * (k + 1) / t;
-      threads.emplace_back(work, begin, end);
-    }
-    for (auto& th : threads) th.join();
+    work(0, pop.size());
   }
-  evaluations += static_cast<long>(n);
+  return static_cast<long>(pop.size());
 }
+
+namespace {
 
 /// Binary tournament by (rank, crowding) — the canonical crowded comparison.
 const Individual& tournament(const std::vector<Individual>& pop,
@@ -257,6 +256,7 @@ Result optimize(const Problem& problem, const Config& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   std::mt19937_64 rng(cfg.seed);
   Result result;
+  PopulationEvaluator evaluator(problem, cfg.n_threads);
 
   // --- Initial population: optional seeds + random fill.
   std::vector<Individual> pop;
@@ -277,7 +277,7 @@ Result optimize(const Problem& problem, const Config& cfg) {
     ind.genes = random_genes(problem, rng);
     pop.push_back(std::move(ind));
   }
-  evaluate_all(problem, pop, cfg.n_threads, result.evaluations);
+  result.evaluations += evaluator.evaluate(pop);
   fast_non_dominated_sort(pop);
   assign_crowding_distances(pop);
 
@@ -300,7 +300,7 @@ Result optimize(const Problem& problem, const Config& cfg) {
       offspring.push_back(std::move(i1));
       offspring.push_back(std::move(i2));
     }
-    evaluate_all(problem, offspring, cfg.n_threads, result.evaluations);
+    result.evaluations += evaluator.evaluate(offspring);
 
     // --- Elitist survivor selection over parents + offspring.
     std::vector<Individual> merged = std::move(pop);

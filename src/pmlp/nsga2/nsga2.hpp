@@ -6,10 +6,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <random>
 #include <span>
 #include <vector>
+
+namespace pmlp::core {
+class ThreadPool;  // pmlp/core/thread_pool.hpp — only nsga2.cpp needs it
+}
 
 namespace pmlp::nsga2 {
 
@@ -77,7 +82,11 @@ struct Config {
   int creep_step = 1;
   CrossoverKind crossover = CrossoverKind::kUniform;
   std::uint64_t seed = 1;
-  int n_threads = 1;  ///< parallel fitness evaluation (deterministic)
+  /// Parallel fitness evaluation: 0 = all hardware threads (the default),
+  /// 1 = serial, N = N pool workers. Results are bit-identical across all
+  /// settings — only evaluate() runs off the main thread; selection and
+  /// mutation RNG stay serial.
+  int n_threads = 0;
   /// Called after each generation with the sorted parent population.
   std::function<void(int generation, const std::vector<Individual>&)>
       on_generation;
@@ -90,7 +99,33 @@ struct Result {
   double wall_seconds = 0.0;
 };
 
-/// Run NSGA-II. Deterministic in cfg.seed (also with n_threads > 1).
+/// Batched population evaluator: scores individuals against one Problem on
+/// a persistent worker pool (created once, reused across generations). Each
+/// result is written into its individual's own slot under a static index
+/// partition, so the outcome is bit-identical for any thread count.
+class PopulationEvaluator {
+ public:
+  /// n_threads: 0 = all hardware threads, 1 = serial (no pool), N = N workers.
+  PopulationEvaluator(const Problem& problem, int n_threads);
+  ~PopulationEvaluator();
+
+  PopulationEvaluator(const PopulationEvaluator&) = delete;
+  PopulationEvaluator& operator=(const PopulationEvaluator&) = delete;
+
+  /// Fill objectives/constraint_violation for every individual; returns the
+  /// number of evaluations performed (pop.size()).
+  long evaluate(std::span<Individual> pop);
+
+  /// Worker count actually in use (1 when running serially).
+  [[nodiscard]] int n_threads() const { return n_threads_; }
+
+ private:
+  const Problem& problem_;
+  int n_threads_;
+  std::unique_ptr<core::ThreadPool> pool_;  ///< null when serial
+};
+
+/// Run NSGA-II. Deterministic in cfg.seed (also with n_threads != 1).
 [[nodiscard]] Result optimize(const Problem& problem, const Config& cfg);
 
 // --- Internals exposed for unit testing -----------------------------------

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <random>
-#include <thread>
 
 namespace pmlp::nsga2 {
 
@@ -35,24 +34,8 @@ Result random_search(const Problem& problem, const RandomSearchConfig& cfg) {
     pool.push_back(std::move(ind));
   }
 
-  auto work = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      auto ev = problem.evaluate(pool[i].genes);
-      pool[i].objectives = std::move(ev.objectives);
-      pool[i].constraint_violation = ev.constraint_violation;
-    }
-  };
-  if (cfg.n_threads <= 1) {
-    work(0, pool.size());
-  } else {
-    const auto t = static_cast<std::size_t>(cfg.n_threads);
-    std::vector<std::thread> threads;
-    for (std::size_t k = 0; k < t; ++k) {
-      threads.emplace_back(work, pool.size() * k / t,
-                           pool.size() * (k + 1) / t);
-    }
-    for (auto& th : threads) th.join();
-  }
+  PopulationEvaluator evaluator(problem, cfg.n_threads);
+  evaluator.evaluate(pool);
 
   // Incremental non-dominated archive (cheaper than sorting the whole
   // pool: the archive stays small in practice).

@@ -12,7 +12,10 @@ namespace pmlp::nsga2 {
 struct RandomSearchConfig {
   long evaluations = 10000;
   std::uint64_t seed = 1;
-  int n_threads = 1;
+  /// 0 = all hardware threads, 1 = serial, N = N workers. Candidate genomes
+  /// are drawn serially from cfg.seed before evaluation, so results are
+  /// bit-identical across all settings.
+  int n_threads = 0;
 };
 
 /// Evaluate `evaluations` random candidates; returns the feasible

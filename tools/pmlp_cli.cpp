@@ -11,11 +11,20 @@
 //   pmlp export <model> <dataset> <out-prefix>
 //                                     Verilog DUT + self-checking testbench
 //
+// Global options:
+//   --threads N                       parallel GA fitness evaluation
+//                                     (0 = all hardware threads, the
+//                                     default; 1 = serial; bit-identical
+//                                     results for any setting)
+//
 // Datasets are the synthetic paper suite; swap in real UCI files by loading
 // through pmlp::datasets::load_uci in your own driver.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "pmlp/core/flow.hpp"
 #include "pmlp/core/serialize.hpp"
@@ -68,12 +77,14 @@ int cmd_metrics(const std::string& dataset) {
   return 0;
 }
 
+int g_threads = 0;  // --threads: 0 = all hardware threads
+
 core::FlowConfig default_flow(int pop, int gens) {
   core::FlowConfig cfg;
   cfg.backprop.epochs = 150;
   cfg.trainer.ga.population = pop;
   cfg.trainer.ga.generations = gens;
-  cfg.trainer.ga.n_threads = 4;
+  cfg.trainer.n_threads = g_threads;
   return cfg;
 }
 
@@ -192,7 +203,8 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
 }
 
 int usage() {
-  std::cerr << "usage: pmlp <list|metrics|baseline|train|evaluate|export> "
+  std::cerr << "usage: pmlp [--threads N] "
+               "<list|metrics|baseline|train|evaluate|export> "
                "[args...]\n(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
 }
@@ -200,21 +212,41 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --threads requires a value\n";
+        return usage();
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) {
+        std::cerr << "error: --threads expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        return usage();
+      }
+      g_threads = static_cast<int>(v);
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  const std::size_t n = args.size();
   try {
     if (cmd == "list") return cmd_list();
-    if (cmd == "metrics" && argc >= 3) return cmd_metrics(argv[2]);
-    if (cmd == "baseline" && argc >= 3) return cmd_baseline(argv[2]);
-    if (cmd == "train" && argc >= 3) {
-      const int pop = argc >= 4 ? std::atoi(argv[3]) : 80;
-      const int gens = argc >= 5 ? std::atoi(argv[4]) : 200;
-      const std::string out = argc >= 6 ? argv[5] : "";
-      return cmd_train(argv[2], pop, gens, out);
+    if (cmd == "metrics" && n >= 2) return cmd_metrics(args[1]);
+    if (cmd == "baseline" && n >= 2) return cmd_baseline(args[1]);
+    if (cmd == "train" && n >= 2) {
+      const int pop = n >= 3 ? std::atoi(args[2].c_str()) : 80;
+      const int gens = n >= 4 ? std::atoi(args[3].c_str()) : 200;
+      const std::string out = n >= 5 ? args[4] : "";
+      return cmd_train(args[1], pop, gens, out);
     }
-    if (cmd == "evaluate" && argc >= 4) return cmd_evaluate(argv[2], argv[3]);
-    if (cmd == "export" && argc >= 5)
-      return cmd_export(argv[2], argv[3], argv[4]);
+    if (cmd == "evaluate" && n >= 3) return cmd_evaluate(args[1], args[2]);
+    if (cmd == "export" && n >= 4)
+      return cmd_export(args[1], args[2], args[3]);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

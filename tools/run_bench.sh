@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run the Table III runtime benchmark and emit BENCH_table3.json so PRs can
+# track a perf trajectory. Runs the benchmark twice — serial (PMLP_THREADS=1)
+# and parallel (PMLP_THREADS=0, i.e. all hardware threads) — and records
+# per-dataset trainer seconds plus the aggregate parallel speedup.
+#
+# Usage: tools/run_bench.sh [build-dir] [out.json]
+# Scale knobs (forwarded to the bench): PMLP_POP, PMLP_GENS, PMLP_EPOCHS,
+# PMLP_SC_SAMPLES. Defaults below keep a CI run to a few minutes.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_table3.json}"
+BENCH="$BUILD_DIR/bench/bench_table3_runtime"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+export PMLP_POP="${PMLP_POP:-24}"
+export PMLP_GENS="${PMLP_GENS:-10}"
+export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
+
+# Prints dataset rows as "name grad_s ga_s gaaxc_s ratio" with the paper's
+# parenthesized reference minutes stripped.
+run_once() {
+  PMLP_THREADS="$1" "$BENCH" |
+    sed 's/([^)]*)//g' |
+    awk '$1 ~ /^(BreastCancer|Cardio|Pendigits|RedWine|WhiteWine)$/ \
+         {printf "%s %s %s %s\n", $1, $2, $3, $4}'
+}
+
+echo "running bench_table3_runtime serial (PMLP_THREADS=1)..." >&2
+SERIAL=$(run_once 1)
+echo "running bench_table3_runtime parallel (PMLP_THREADS=0)..." >&2
+PARALLEL=$(run_once 0)
+
+python3 - "$OUT" <<PY
+import json, os, sys
+
+def parse(block):
+    rows = {}
+    for line in block.strip().splitlines():
+        name, grad, ga, axc = line.split()
+        rows[name] = {"grad_s": float(grad), "ga_s": float(ga),
+                      "gaaxc_s": float(axc)}
+    return rows
+
+serial = parse("""$SERIAL""")
+parallel = parse("""$PARALLEL""")
+total_serial = sum(r["gaaxc_s"] + r["ga_s"] for r in serial.values())
+total_parallel = sum(r["gaaxc_s"] + r["ga_s"] for r in parallel.values())
+doc = {
+    "bench": "table3_runtime",
+    "hardware_threads": os.cpu_count(),
+    "scale": {k: int(os.environ[k])
+              for k in ("PMLP_POP", "PMLP_GENS", "PMLP_EPOCHS")},
+    "serial": serial,
+    "parallel": parallel,
+    "ga_total_serial_s": round(total_serial, 3),
+    "ga_total_parallel_s": round(total_parallel, 3),
+    "parallel_speedup": round(total_serial / max(total_parallel, 1e-9), 3),
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+PY
+
+echo "wrote $OUT" >&2
