@@ -34,6 +34,7 @@ core::FlowConfig flow_config(std::uint64_t seed) {
   cfg.trainer.ga.population = env_int("PMLP_POP", 120);
   cfg.trainer.ga.generations = env_int("PMLP_GENS", 600);
   cfg.trainer.n_threads = env_int("PMLP_THREADS", 0);
+  cfg.trainer.problem.eval_cache_capacity = env_int("PMLP_CACHE", 4096);
   cfg.trainer.ga.seed = seed;
   cfg.refine = env_int("PMLP_REFINE", 1) != 0;
   cfg.hardware.equivalence_samples = 16;

@@ -7,6 +7,7 @@
 //   PMLP_GENS  NSGA-II generations         (default 30)
 //   PMLP_EPOCHS backprop epochs            (default 150)
 //   PMLP_THREADS parallel GA evaluation    (default 0 = all hardware threads)
+//   PMLP_CACHE genome memo-cache entries   (default 4096; 0 = off)
 //   PMLP_SC_SAMPLES stochastic-sim samples (default 200)
 // The paper's full-scale runs used ~26M evaluations; these defaults keep a
 // laptop run in minutes while preserving every trend (see EXPERIMENTS.md).

@@ -27,6 +27,7 @@ int main() {
                "GA-AxC s(paper min)   GA-AxC/GA ratio\n";
 
   double sum_grad = 0, sum_ga = 0, sum_axc = 0;
+  long axc_evals = 0, axc_cache_hits = 0;
   for (const auto& pr : paper) {
     const auto p = bench::prepare(pr.name);
 
@@ -50,6 +51,8 @@ int main() {
     sum_grad += grad.wall_seconds;
     sum_ga += ga.wall_seconds;
     sum_axc += axc.wall_seconds;
+    axc_evals += axc.evaluations;
+    axc_cache_hits += axc.cache_hits;
     std::cout << bench::fmt(pr.name, -14)
               << bench::fmt(grad.wall_seconds, 8, 2) << " ("
               << bench::fmt(pr.grad_min, 0, 1) << ")"
@@ -61,6 +64,17 @@ int main() {
                             14, 2)
               << "\n";
   }
+  // Evaluation-engine aggregate over the five GA-AxC runs, parsed by
+  // tools/run_bench.sh into the eval_throughput figure of BENCH_table3.json.
+  std::cout << "\nThroughput: "
+            << bench::fmt(static_cast<double>(axc_evals) /
+                              std::max(sum_axc, 1e-9), 0, 1)
+            << " evals/s over " << axc_evals
+            << " GA-AxC evals, cache hit rate "
+            << bench::fmt(static_cast<double>(axc_cache_hits) /
+                              std::max<double>(static_cast<double>(axc_evals),
+                                               1.0), 0, 4)
+            << "\n";
   std::cout << "\nAverage: grad " << bench::fmt(sum_grad / 5, 0, 2)
             << " s, GA " << bench::fmt(sum_ga / 5, 0, 2) << " s, GA-AxC "
             << bench::fmt(sum_axc / 5, 0, 2)

@@ -1,0 +1,176 @@
+#include "pmlp/core/eval_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pmlp/adder/fa_model.hpp"
+#include "pmlp/bitops/bitops.hpp"
+
+namespace pmlp::core {
+
+CompiledNet::CompiledNet(const ApproxMlp& net) {
+  n_inputs_ = net.topology().n_inputs();
+  max_width_ = n_inputs_;
+  act_max_ = (std::int64_t{1} << net.bits().act_bits) - 1;
+
+  // One scratch spec reused across neurons: the FA-count streams out of the
+  // same walk that collects active connections, so the training path never
+  // materializes the all-neurons adder_specs() vector.
+  adder::NeuronAdderSpec scratch;
+  layers_.reserve(net.layers().size());
+  for (const auto& layer : net.layers()) {
+    const auto in_mask =
+        static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+    CompiledLayer cl;
+    cl.n_in = layer.n_in;
+    cl.n_out = layer.n_out;
+    cl.qrelu = layer.qrelu;
+    cl.qrelu_shift = layer.qrelu_shift;
+    cl.biases = layer.biases;
+    cl.conn_begin.reserve(static_cast<std::size_t>(layer.n_out) + 1);
+    cl.conn_begin.push_back(0);
+    for (int o = 0; o < layer.n_out; ++o) {
+      scratch.summands.clear();
+      scratch.bias = layer.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.n_in; ++i) {
+        const ApproxConn& c = layer.conn(o, i);
+        const std::uint32_t m = c.mask & in_mask;
+        if (m == 0) continue;  // fully pruned: provably-zero term
+        cl.conns.push_back(CompiledConn{i, m, c.exponent, c.sign < 0 ? 1 : 0});
+        scratch.summands.push_back(
+            adder::SummandSpec{c.mask, layer.input_bits, c.exponent, c.sign});
+      }
+      cl.conn_begin.push_back(static_cast<std::int32_t>(cl.conns.size()));
+      fa_area_ += adder::estimate_adder(scratch).total_fa();
+    }
+    max_width_ = std::max(max_width_, cl.n_out);
+    n_outputs_ = cl.n_out;
+    layers_.push_back(std::move(cl));
+  }
+}
+
+std::span<const std::int64_t> CompiledNet::forward(
+    std::span<const std::uint8_t> x, EvalWorkspace& ws) const {
+  if (x.size() != static_cast<std::size_t>(n_inputs_)) {
+    throw std::invalid_argument("CompiledNet::forward: bad input size");
+  }
+  ws.bind(*this);
+  std::int64_t* cur = ws.a_.data();
+  std::int64_t* nxt = ws.b_.data();
+  for (std::size_t i = 0; i < x.size(); ++i) cur[i] = x[i];
+
+  for (const auto& layer : layers_) {
+    const CompiledConn* conns = layer.conns.data();
+    const std::int32_t* begin = layer.conn_begin.data();
+    for (int o = 0; o < layer.n_out; ++o) {
+      std::int64_t acc = layer.biases[static_cast<std::size_t>(o)];
+      const std::int32_t end = begin[o + 1];
+      for (std::int32_t c = begin[o]; c < end; ++c) {
+        const CompiledConn& cc = conns[c];
+        const std::int64_t term = static_cast<std::int64_t>(
+            static_cast<std::uint32_t>(cur[cc.in]) & cc.mask)
+            << cc.shift;
+        acc += cc.neg ? -term : term;
+      }
+      if (layer.qrelu) {
+        acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max_);
+      }
+      nxt[o] = acc;
+    }
+    std::swap(cur, nxt);
+  }
+  return {cur, static_cast<std::size_t>(n_outputs_)};
+}
+
+int CompiledNet::predict(std::span<const std::uint8_t> x,
+                         EvalWorkspace& ws) const {
+  const auto logits = forward(x, ws);
+  int best = 0;
+  for (int k = 1; k < n_outputs_; ++k) {
+    if (logits[static_cast<std::size_t>(k)] >
+        logits[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+double CompiledNet::accuracy(const datasets::QuantizedDataset& d,
+                             EvalWorkspace& ws) const {
+  if (d.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (predict(d.row(i), ws) == d.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+void EvalWorkspace::bind(const CompiledNet& net) {
+  const auto width = static_cast<std::size_t>(net.max_width_);
+  if (a_.size() < width) {
+    a_.resize(width);
+    b_.resize(width);
+  }
+}
+
+std::uint64_t EvalCache::hash_genes(std::span<const int> genes) {
+  // FNV-1a over the gene words.
+  std::uint64_t h = 14695981039346656037ull;
+  for (int g : genes) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(g));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool EvalCache::lookup(std::span<const int> genes,
+                       nsga2::Problem::Evaluation& out) {
+  if (capacity_ == 0) return false;
+  const std::uint64_t h = hash_genes(genes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(h);
+  if (it != index_.end() &&
+      std::equal(genes.begin(), genes.end(), it->second->genes.begin(),
+                 it->second->genes.end())) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out = it->second->ev;
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void EvalCache::insert(std::span<const int> genes,
+                       const nsga2::Problem::Evaluation& ev) {
+  if (capacity_ == 0) return;
+  const std::uint64_t h = hash_genes(genes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(h);
+  if (it != index_.end()) {
+    // Concurrent duplicate compute, or a hash collision: keep the newest
+    // genome for this slot (exact gene compare in lookup keeps it correct).
+    it->second->genes.assign(genes.begin(), genes.end());
+    it->second->ev = ev;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{h, {genes.begin(), genes.end()}, ev});
+  index_[h] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+  }
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+EvalCacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pmlp::core

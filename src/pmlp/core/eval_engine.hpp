@@ -1,0 +1,172 @@
+// Compiled sparse evaluation engine for the GA training hot path.
+//
+// `HwAwareProblem::evaluate` runs ~26M times per paper-scale experiment, and
+// the naive path re-walks every connection of a freshly decoded `ApproxMlp`
+// per sample, heap-allocating two activation vectors per layer per sample.
+// This module makes a single evaluation cheap in three steps:
+//
+//   compile  — flatten a chromosome-decoded `ApproxMlp` into a `CompiledNet`:
+//              per layer a CSR array of only the *active* connections
+//              (mask & in_mask != 0) with the layer input mask pre-ANDed in,
+//              plus the FA-count area (Eq. 2) computed neuron-by-neuron
+//              during the same walk (no `adder_specs()` vector).
+//   batch    — run the whole dataset through reusable flat activation
+//              buffers (`EvalWorkspace`): zero allocations per sample.
+//   memoize  — a genome-keyed bounded-LRU cache (`EvalCache`) short-circuits
+//              re-evaluation of duplicate individuals, which NSGA-II
+//              crossover/mutation produce every generation (an offspring
+//              that undergoes neither is an exact parent copy).
+//
+// Results are bit-identical to `ApproxMlp::forward`/`fa_area` by
+// construction: the compiled sample loop performs the same int64 additions
+// in the same order, merely skipping terms that are provably zero. The
+// naive path stays as the reference oracle (see eval_engine_test).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pmlp/core/approx_mlp.hpp"
+#include "pmlp/datasets/dataset.hpp"
+#include "pmlp/nsga2/nsga2.hpp"
+
+namespace pmlp::core {
+
+/// One active (non-fully-pruned) connection, flattened for the sample loop.
+struct CompiledConn {
+  std::int32_t in = 0;       ///< input index within the layer
+  std::uint32_t mask = 0;    ///< conn mask pre-ANDed with the layer in_mask
+  std::int32_t shift = 0;    ///< pow2 exponent k
+  std::int32_t neg = 0;      ///< 1 when sign is -1
+};
+
+struct CompiledLayer {
+  int n_in = 0;
+  int n_out = 0;
+  bool qrelu = true;
+  int qrelu_shift = 0;
+  /// CSR layout: neuron o owns conns[conn_begin[o] .. conn_begin[o+1]).
+  std::vector<CompiledConn> conns;
+  std::vector<std::int32_t> conn_begin;  ///< size n_out + 1
+  std::vector<std::int64_t> biases;
+};
+
+class EvalWorkspace;
+
+/// A chromosome compiled for repeated inference; cheap to evaluate, fixed
+/// after construction. Pruned connections are gone, masks are pre-truncated,
+/// and the FA-count area was computed once at compile time.
+class CompiledNet {
+ public:
+  CompiledNet() = default;
+  /// Compile `net` (QReLU shifts must be current — decode() guarantees it).
+  explicit CompiledNet(const ApproxMlp& net);
+
+  [[nodiscard]] int n_inputs() const { return n_inputs_; }
+  [[nodiscard]] int n_outputs() const { return n_outputs_; }
+  [[nodiscard]] const std::vector<CompiledLayer>& layers() const {
+    return layers_;
+  }
+  /// Paper Eq. 2 FA-count, streamed during compilation; identical to
+  /// `ApproxMlp::fa_area()` of the source model.
+  [[nodiscard]] long fa_area() const { return fa_area_; }
+
+  /// Output-layer accumulators for one sample, written into `ws` buffers;
+  /// the returned span aliases workspace storage (valid until next call).
+  [[nodiscard]] std::span<const std::int64_t> forward(
+      std::span<const std::uint8_t> x, EvalWorkspace& ws) const;
+  /// Argmax class (first maximum, like std::max_element).
+  [[nodiscard]] int predict(std::span<const std::uint8_t> x,
+                            EvalWorkspace& ws) const;
+  /// Fraction of samples classified correctly; allocation-free given a
+  /// bound workspace.
+  [[nodiscard]] double accuracy(const datasets::QuantizedDataset& d,
+                                EvalWorkspace& ws) const;
+
+ private:
+  int n_inputs_ = 0;
+  int n_outputs_ = 0;
+  int max_width_ = 0;            ///< widest activation vector in the net
+  std::int64_t act_max_ = 0;     ///< QReLU clamp, (1 << act_bits) - 1
+  long fa_area_ = 0;
+  std::vector<CompiledLayer> layers_;
+
+  friend class EvalWorkspace;
+};
+
+/// Reusable flat activation buffers for CompiledNet inference. One per
+/// worker thread; grows monotonically, so a single workspace serves every
+/// net evaluated by that worker with zero steady-state allocations. Opaque
+/// to callers — only CompiledNet::forward touches the buffers.
+class EvalWorkspace final : public nsga2::Problem::Workspace {
+ private:
+  friend class CompiledNet;
+
+  /// Ensure capacity for `net`; cheap when already large enough.
+  void bind(const CompiledNet& net);
+
+  std::vector<std::int64_t> a_;
+  std::vector<std::int64_t> b_;
+};
+
+/// The worker's own EvalWorkspace when `ws` is one (the PopulationEvaluator
+/// path), else `local` — the shared shim for Problem::evaluate overloads.
+[[nodiscard]] inline EvalWorkspace& resolve_workspace(
+    nsga2::Problem::Workspace* ws, EvalWorkspace& local) {
+  auto* workspace = dynamic_cast<EvalWorkspace*>(ws);
+  return workspace != nullptr ? *workspace : local;
+}
+
+/// Statistics of one EvalCache (and of the evaluations that consulted it).
+struct EvalCacheStats {
+  long hits = 0;
+  long misses = 0;
+  [[nodiscard]] long lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+};
+
+/// Bounded, thread-safe, genome-keyed LRU memo of evaluation results.
+/// Keys hash the full gene vector (FNV-1a) and compare exactly, so a hash
+/// collision can never return the wrong objectives. Capacity 0 = disabled
+/// (every lookup misses, inserts are dropped).
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns true and fills `out` on a hit (refreshing LRU order).
+  bool lookup(std::span<const int> genes, nsga2::Problem::Evaluation& out);
+  /// Insert (or refresh) the result for `genes`, evicting the LRU entry
+  /// beyond capacity.
+  void insert(std::span<const int> genes,
+              const nsga2::Problem::Evaluation& ev);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] EvalCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<int> genes;
+    nsga2::Problem::Evaluation ev;
+  };
+  using Lru = std::list<Entry>;
+
+  static std::uint64_t hash_genes(std::span<const int> genes);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Lru::iterator> index_;
+  EvalCacheStats stats_;
+};
+
+}  // namespace pmlp::core

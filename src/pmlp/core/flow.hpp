@@ -22,6 +22,9 @@ struct FlowConfig {
   mlp::BackpropConfig backprop;    ///< float/gradient training
   TrainerConfig trainer;           ///< GA-AxC; trainer.n_threads is the
                                    ///< flow-wide parallelism knob (0 = auto)
+                                   ///< and trainer.problem.eval_cache_capacity
+                                   ///< the genome memo-cache size (0 = off) —
+                                   ///< both bit-identical for any setting
   bool refine = true;              ///< greedy post-GA refinement extension
   double refine_max_point_loss = 0.01;
   double report_max_loss = 0.05;   ///< Table II selection bound

@@ -14,14 +14,28 @@ HwAwareProblem::HwAwareProblem(ChromosomeCodec codec,
     : codec_(std::move(codec)),
       train_(train),
       baseline_(std::move(baseline)),
-      cfg_(cfg) {
+      cfg_(cfg),
+      cache_(static_cast<std::size_t>(std::max(0, cfg.eval_cache_capacity))) {
   if (baseline_) {
     baseline_accuracy_ = mlp::accuracy(*baseline_, train_);
   }
 }
 
+std::unique_ptr<nsga2::Problem::Workspace> HwAwareProblem::make_workspace()
+    const {
+  return std::make_unique<EvalWorkspace>();
+}
+
 nsga2::Problem::Evaluation HwAwareProblem::evaluate(
     std::span<const int> genes) const {
+  return evaluate(genes, nullptr);
+}
+
+nsga2::Problem::Evaluation HwAwareProblem::evaluate(std::span<const int> genes,
+                                                    Workspace* ws) const {
+  Evaluation ev;
+  if (cache_.lookup(genes, ev)) return ev;
+
   ApproxMlp net = codec_.decode(genes);
   if (cfg_.coarse_pruning) {
     // Structured pruning baseline: a connection is all-or-nothing.
@@ -34,10 +48,11 @@ nsga2::Problem::Evaluation HwAwareProblem::evaluate(
     }
     net.update_qrelu_shifts();
   }
-  const double acc = accuracy(net, train_);
-  const auto area = static_cast<double>(net.fa_area());
+  const CompiledNet compiled(net);
+  EvalWorkspace local;
+  const double acc = compiled.accuracy(train_, resolve_workspace(ws, local));
+  const auto area = static_cast<double>(compiled.fa_area());
 
-  Evaluation ev;
   ev.objectives = {1.0 - acc, area};
   if (baseline_) {
     // Accuracy loss beyond the 10% (absolute points) training bound makes
@@ -45,6 +60,7 @@ nsga2::Problem::Evaluation HwAwareProblem::evaluate(
     const double floor_acc = baseline_accuracy_ - cfg_.max_accuracy_loss;
     ev.constraint_violation = std::max(0.0, floor_acc - acc);
   }
+  cache_.insert(genes, ev);
   return ev;
 }
 

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "pmlp/core/chromosome.hpp"
+#include "pmlp/core/eval_engine.hpp"
 #include "pmlp/datasets/dataset.hpp"
 #include "pmlp/nsga2/nsga2.hpp"
 
@@ -29,6 +31,14 @@ struct ProblemConfig {
   /// fully present or fully removed. Reproduces the §III-B observation
   /// that coarse pruning trades accuracy much worse than bit-level masks.
   bool coarse_pruning = false;
+  /// Genome memo cache capacity (entries) of the evaluation engine:
+  /// duplicate individuals that NSGA-II elitism/crossover produce every
+  /// generation short-circuit to their cached objectives. 0 disables.
+  /// Cached and uncached runs are bit-identical, because evaluation is a
+  /// pure function of the genes. Each entry stores a full gene vector, so
+  /// the default (many generations of a paper-sized population) stays in
+  /// the tens of MB even on the largest Table I topology.
+  int eval_cache_capacity = 4096;
 };
 
 class HwAwareProblem final : public nsga2::Problem {
@@ -43,7 +53,14 @@ class HwAwareProblem final : public nsga2::Problem {
   [[nodiscard]] nsga2::GeneBounds bounds(int gene) const override {
     return codec_.bounds(gene);
   }
+  /// Reference path: compiles the genome and evaluates through a private
+  /// workspace. Prefer the workspace overload on hot loops.
   [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override;
+  /// Hot path: memo-cache lookup, else decode -> CompiledNet -> batched
+  /// allocation-free inference through the worker's EvalWorkspace.
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes,
+                                    Workspace* ws) const override;
+  [[nodiscard]] std::unique_ptr<Workspace> make_workspace() const override;
   [[nodiscard]] std::vector<std::vector<int>> seed_individuals(
       int max) const override;
 
@@ -57,6 +74,8 @@ class HwAwareProblem final : public nsga2::Problem {
 
   [[nodiscard]] const ChromosomeCodec& codec() const { return codec_; }
   [[nodiscard]] double baseline_accuracy() const { return baseline_accuracy_; }
+  /// Memo-cache hit/miss counters accumulated over this problem's lifetime.
+  [[nodiscard]] EvalCacheStats cache_stats() const { return cache_.stats(); }
 
  private:
   ChromosomeCodec codec_;
@@ -64,6 +83,7 @@ class HwAwareProblem final : public nsga2::Problem {
   std::optional<mlp::QuantMlp> baseline_;
   ProblemConfig cfg_;
   double baseline_accuracy_ = 0.0;
+  mutable EvalCache cache_;
 };
 
 }  // namespace pmlp::core

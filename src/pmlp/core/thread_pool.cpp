@@ -52,12 +52,19 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for(n, [&fn](std::size_t /*chunk*/, std::size_t begin,
+                        std::size_t end) { fn(begin, end); });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const auto chunks =
       std::min<std::size_t>(static_cast<std::size_t>(size()), n);
   if (chunks <= 1) {
     // Degenerate pool or tiny range: run inline, exceptions flow naturally.
-    fn(0, n);
+    fn(0, 0, n);
     return;
   }
   std::vector<std::future<void>> pending;
@@ -65,7 +72,7 @@ void ThreadPool::parallel_for(
   for (std::size_t k = 0; k < chunks; ++k) {
     const std::size_t begin = n * k / chunks;
     const std::size_t end = n * (k + 1) / chunks;
-    pending.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    pending.push_back(submit([&fn, k, begin, end] { fn(k, begin, end); }));
   }
   std::exception_ptr first_error;
   for (auto& fut : pending) {

@@ -52,6 +52,14 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// As above, but fn(chunk, begin, end) also receives the chunk index
+  /// (in [0, size())), so a caller can hand each chunk its own scratch
+  /// state. Chunk k always covers the same static subrange of [0, n) for a
+  /// given pool size, preserving the determinism contract.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();

@@ -27,6 +27,15 @@ std::vector<EstimatedPoint> collect_front(
   return points;
 }
 
+void fill_perf_counters(TrainingResult& result, const EvalCacheStats& stats) {
+  result.evals_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.evaluations) / result.wall_seconds
+          : 0.0;
+  result.cache_hits = stats.hits;
+  result.cache_hit_rate = stats.hit_rate();
+}
+
 }  // namespace
 
 TrainingResult train_ga_axc(const mlp::Topology& topology,
@@ -45,6 +54,7 @@ TrainingResult train_ga_axc(const mlp::Topology& topology,
   result.evaluations = ga.evaluations;
   result.wall_seconds = ga.wall_seconds;
   result.baseline_train_accuracy = problem.baseline_accuracy();
+  fill_perf_counters(result, problem.cache_stats());
   return result;
 }
 
@@ -56,8 +66,11 @@ namespace {
 class AccuracyOnlyProblem final : public nsga2::Problem {
  public:
   AccuracyOnlyProblem(ChromosomeCodec codec,
-                      const datasets::QuantizedDataset& train)
-      : codec_(std::move(codec)), train_(train) {}
+                      const datasets::QuantizedDataset& train,
+                      int eval_cache_capacity)
+      : codec_(std::move(codec)),
+        train_(train),
+        cache_(static_cast<std::size_t>(std::max(0, eval_cache_capacity))) {}
 
   [[nodiscard]] int n_genes() const override { return codec_.n_genes(); }
 
@@ -67,16 +80,32 @@ class AccuracyOnlyProblem final : public nsga2::Problem {
     return b;
   }
 
+  [[nodiscard]] std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<EvalWorkspace>();
+  }
+
   [[nodiscard]] Evaluation evaluate(std::span<const int> genes) const override {
+    return evaluate(genes, nullptr);
+  }
+
+  [[nodiscard]] Evaluation evaluate(std::span<const int> genes,
+                                    Workspace* ws) const override {
+    Evaluation ev;
+    if (cache_.lookup(genes, ev)) return ev;
     std::vector<int> pinned(genes.begin(), genes.end());
     for (int g = 0; g < codec_.n_genes(); ++g) {
       if (is_mask_gene(g)) pinned[static_cast<std::size_t>(g)] = codec_.bounds(g).hi;
     }
-    const ApproxMlp net = codec_.decode(pinned);
-    return {{1.0 - accuracy(net, train_), 0.0}, 0.0};
+    const CompiledNet compiled(codec_.decode(pinned));
+    EvalWorkspace local;
+    ev = {{1.0 - compiled.accuracy(train_, resolve_workspace(ws, local)), 0.0},
+          0.0};
+    cache_.insert(genes, ev);
+    return ev;
   }
 
   [[nodiscard]] const ChromosomeCodec& codec() const { return codec_; }
+  [[nodiscard]] EvalCacheStats cache_stats() const { return cache_.stats(); }
 
  private:
   /// Gene layout per neuron: n_in * (mask, sign, k) then bias. Mask genes
@@ -100,6 +129,7 @@ class AccuracyOnlyProblem final : public nsga2::Problem {
 
   ChromosomeCodec codec_;
   const datasets::QuantizedDataset& train_;
+  mutable EvalCache cache_;
 };
 
 }  // namespace
@@ -108,7 +138,8 @@ TrainingResult train_ga_accuracy_only(const mlp::Topology& topology,
                                       const datasets::QuantizedDataset& train,
                                       const TrainerConfig& cfg) {
   ChromosomeCodec codec(topology, cfg.bits);
-  AccuracyOnlyProblem problem(std::move(codec), train);
+  AccuracyOnlyProblem problem(std::move(codec), train,
+                              cfg.problem.eval_cache_capacity);
   nsga2::Config ga_cfg = cfg.ga;
   ga_cfg.n_threads = cfg.n_threads;
   const nsga2::Result ga = nsga2::optimize(problem, ga_cfg);
@@ -117,6 +148,7 @@ TrainingResult train_ga_accuracy_only(const mlp::Topology& topology,
   result.estimated_pareto = collect_front(problem.codec(), ga.pareto_front);
   result.evaluations = ga.evaluations;
   result.wall_seconds = ga.wall_seconds;
+  fill_perf_counters(result, problem.cache_stats());
   return result;
 }
 

@@ -34,6 +34,13 @@ struct TrainingResult {
   long evaluations = 0;
   double wall_seconds = 0.0;
   double baseline_train_accuracy = 0.0;
+  // Evaluation-engine perf counters for this run (see eval_engine.hpp).
+  /// End-to-end trainer throughput: individuals scored per second, cache
+  /// hits included. Compiled-inference-only throughput is
+  /// evals_per_second * (1 - cache_hit_rate).
+  double evals_per_second = 0.0;
+  long cache_hits = 0;          ///< memo-cache short-circuits
+  double cache_hit_rate = 0.0;  ///< hits / lookups (0 when cache off)
 };
 
 /// Train approximate MLPs for `topology` on `train`. `baseline` supplies the

@@ -65,34 +65,62 @@ QuantMlp QuantMlp::from_float(const FloatMlp& net, int weight_bits,
 
 std::vector<std::int64_t> QuantMlp::forward(
     std::span<const std::uint8_t> x) const {
-  std::vector<std::int64_t> act(x.begin(), x.end());
-  std::vector<std::int64_t> next;
+  QuantScratch scratch;
+  const auto out = forward(x, scratch);
+  return {out.begin(), out.end()};
+}
+
+std::span<const std::int64_t> QuantMlp::forward(std::span<const std::uint8_t> x,
+                                                QuantScratch& scratch) const {
+  // Size the two ping-pong buffers to the widest activation vector once;
+  // after that the whole pass is allocation-free.
+  std::size_t width = x.size();
+  for (const auto& layer : layers_) {
+    width = std::max(width, static_cast<std::size_t>(layer.n_out));
+  }
+  if (scratch.a.size() < width) {
+    scratch.a.resize(width);
+    scratch.b.resize(width);
+  }
+  std::int64_t* act = scratch.a.data();
+  std::int64_t* next = scratch.b.data();
+  for (std::size_t i = 0; i < x.size(); ++i) act[i] = x[i];
   const std::int64_t act_max =
       (std::int64_t{1} << activation_bits_) - 1;
 
+  std::size_t n_out = x.size();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const QuantLayer& layer = layers_[l];
     const bool is_last = l + 1 == layers_.size();
-    next.assign(static_cast<std::size_t>(layer.n_out), 0);
     for (int o = 0; o < layer.n_out; ++o) {
+      // Hoisted row pointer: the weight(o, i) index arithmetic is loop-
+      // invariant in i.
+      const std::int32_t* w_row =
+          layer.weights.data() + static_cast<std::size_t>(o) * layer.n_in;
       std::int64_t acc = layer.biases[static_cast<std::size_t>(o)];
       for (int i = 0; i < layer.n_in; ++i) {
-        acc += static_cast<std::int64_t>(layer.weight(o, i)) *
-               act[static_cast<std::size_t>(i)];
+        acc += static_cast<std::int64_t>(w_row[i]) * act[i];
       }
       if (!is_last) {
         // QReLU: clamp-below at 0, shift, clamp-above at 2^bits - 1.
         acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max);
       }
-      next[static_cast<std::size_t>(o)] = acc;
+      next[o] = acc;
     }
-    act = next;
+    std::swap(act, next);
+    n_out = static_cast<std::size_t>(layer.n_out);
   }
-  return act;
+  return {act, n_out};
 }
 
 int QuantMlp::predict(std::span<const std::uint8_t> x) const {
-  const auto logits = forward(x);
+  QuantScratch scratch;
+  return predict(x, scratch);
+}
+
+int QuantMlp::predict(std::span<const std::uint8_t> x,
+                      QuantScratch& scratch) const {
+  const auto logits = forward(x, scratch);
   return static_cast<int>(std::distance(
       logits.begin(), std::max_element(logits.begin(), logits.end())));
 }
@@ -126,9 +154,10 @@ std::vector<adder::NeuronAdderSpec> QuantMlp::adder_specs() const {
 
 double accuracy(const QuantMlp& net, const datasets::QuantizedDataset& d) {
   if (d.size() == 0) return 0.0;
+  QuantScratch scratch;  // shared across the whole pass: no per-sample allocs
   std::size_t correct = 0;
   for (std::size_t i = 0; i < d.size(); ++i) {
-    if (net.predict(d.row(i)) == d.labels[i]) ++correct;
+    if (net.predict(d.row(i), scratch) == d.labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(d.size());
 }

@@ -30,6 +30,13 @@ struct QuantLayer {
   }
 };
 
+/// Reusable flat activation buffers for allocation-free QuantMlp inference.
+/// Grows monotonically, so one scratch serves any number of nets/samples.
+struct QuantScratch {
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+};
+
 class QuantMlp {
  public:
   /// Quantize a trained float MLP (paper §V-A: 8-bit weights, 4-bit inputs).
@@ -45,6 +52,14 @@ class QuantMlp {
   [[nodiscard]] std::vector<std::int64_t> forward(
       std::span<const std::uint8_t> x) const;
   [[nodiscard]] int predict(std::span<const std::uint8_t> x) const;
+
+  /// Allocation-free forward through reusable scratch buffers; the returned
+  /// span aliases scratch storage (valid until the next call). Bit-identical
+  /// to forward(x).
+  [[nodiscard]] std::span<const std::int64_t> forward(
+      std::span<const std::uint8_t> x, QuantScratch& scratch) const;
+  [[nodiscard]] int predict(std::span<const std::uint8_t> x,
+                            QuantScratch& scratch) const;
 
   /// Structural adder description of every neuron (layer-major order) for
   /// the FA-count model / netlist generator. Each set bit of each weight

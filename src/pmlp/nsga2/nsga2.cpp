@@ -130,14 +130,20 @@ PopulationEvaluator::PopulationEvaluator(const Problem& problem, int n_threads)
   if (n_threads_ > 1) {
     pool_ = std::make_unique<core::ThreadPool>(n_threads_);
   }
+  workspaces_.reserve(static_cast<std::size_t>(n_threads_));
+  for (int k = 0; k < n_threads_; ++k) {
+    workspaces_.push_back(problem.make_workspace());
+  }
 }
 
 PopulationEvaluator::~PopulationEvaluator() = default;
 
 long PopulationEvaluator::evaluate(std::span<Individual> pop) {
-  auto work = [this, pop](std::size_t begin, std::size_t end) {
+  auto work = [this, pop](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+    Problem::Workspace* ws = workspaces_[chunk].get();
     for (std::size_t i = begin; i < end; ++i) {
-      auto ev = problem_.evaluate(pop[i].genes);
+      auto ev = problem_.evaluate(pop[i].genes, ws);
       pop[i].objectives = std::move(ev.objectives);
       pop[i].constraint_violation = ev.constraint_violation;
     }
@@ -145,7 +151,7 @@ long PopulationEvaluator::evaluate(std::span<Individual> pop) {
   if (pool_) {
     pool_->parallel_for(pop.size(), work);
   } else {
-    work(0, pop.size());
+    work(0, 0, pop.size());
   }
   return static_cast<long>(pop.size());
 }

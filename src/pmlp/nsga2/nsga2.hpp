@@ -48,6 +48,27 @@ class Problem {
   };
   [[nodiscard]] virtual Evaluation evaluate(std::span<const int> genes) const = 0;
 
+  /// Opaque per-worker scratch state for evaluate(). PopulationEvaluator
+  /// creates one per worker and keeps it alive across generations, so a
+  /// derived workspace can hold reusable buffers (see core::EvalWorkspace).
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+  /// Create a fresh per-worker workspace; nullptr (the default) means the
+  /// problem keeps no per-worker state.
+  [[nodiscard]] virtual std::unique_ptr<Workspace> make_workspace() const {
+    return nullptr;
+  }
+  /// Workspace-aware evaluation hot path. `ws` is the calling worker's own
+  /// object from make_workspace() (nullptr for workspace-free problems or
+  /// direct calls). Must return exactly what evaluate(genes) returns; the
+  /// default forwards to it.
+  [[nodiscard]] virtual Evaluation evaluate(std::span<const int> genes,
+                                            Workspace* /*ws*/) const {
+    return evaluate(genes);
+  }
+
   /// Optional seed individuals for the initial population (e.g. the paper's
   /// ~10% doping with nearly non-approximate solutions). At most `max` are
   /// used; out-of-bounds genes are clamped.
@@ -102,7 +123,9 @@ struct Result {
 /// Batched population evaluator: scores individuals against one Problem on
 /// a persistent worker pool (created once, reused across generations). Each
 /// result is written into its individual's own slot under a static index
-/// partition, so the outcome is bit-identical for any thread count.
+/// partition, so the outcome is bit-identical for any thread count. Every
+/// worker owns one Problem::Workspace for the evaluator's lifetime, so
+/// workspace-aware problems evaluate allocation-free.
 class PopulationEvaluator {
  public:
   /// n_threads: 0 = all hardware threads, 1 = serial (no pool), N = N workers.
@@ -123,6 +146,8 @@ class PopulationEvaluator {
   const Problem& problem_;
   int n_threads_;
   std::unique_ptr<core::ThreadPool> pool_;  ///< null when serial
+  /// One workspace per worker; entries may be null (workspace-free problem).
+  std::vector<std::unique_ptr<Problem::Workspace>> workspaces_;
 };
 
 /// Run NSGA-II. Deterministic in cfg.seed (also with n_threads != 1).

@@ -1,0 +1,305 @@
+// Contract of the compiled sparse evaluation engine: CompiledNet inference
+// and its streamed FA-area must be bit-identical to the naive reference
+// oracle (ApproxMlp::forward / fa_area) on any chromosome, and the genome
+// memo cache must never change a training outcome — only its speed.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/core/eval_engine.hpp"
+#include "pmlp/core/problem.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/mlp/backprop.hpp"
+#include "pmlp/nsga2/nsga2.hpp"
+
+namespace core = pmlp::core;
+namespace ds = pmlp::datasets;
+namespace mlp = pmlp::mlp;
+namespace nsga2 = pmlp::nsga2;
+
+namespace {
+
+/// Mask-gene shaping for the chromosome variants the GA actually visits.
+enum class MaskStyle { kDense, kSparse, kFullyPruned, kCoarse };
+
+std::vector<int> random_genes(const core::ChromosomeCodec& codec,
+                              MaskStyle style, std::mt19937_64& rng) {
+  std::vector<int> genes(static_cast<std::size_t>(codec.n_genes()));
+  for (int g = 0; g < codec.n_genes(); ++g) {
+    const auto b = codec.bounds(g);
+    std::uniform_int_distribution<int> pick(b.lo, b.hi);
+    int v = pick(rng);
+    if (codec.kind(g) == core::GeneKind::kMask) {
+      switch (style) {
+        case MaskStyle::kDense:
+          v = b.hi;
+          break;
+        case MaskStyle::kSparse:
+          // Evolved fronts are mostly pruned: 60% of conns fully removed.
+          if (rng() % 10 < 6) v = 0;
+          break;
+        case MaskStyle::kFullyPruned:
+          v = 0;
+          break;
+        case MaskStyle::kCoarse:
+          // Coarse pruning maps every non-zero mask to all-ones before
+          // evaluation; feed it the all-or-nothing shape directly.
+          v = (rng() & 1u) ? 0 : b.hi;
+          break;
+      }
+    }
+    genes[static_cast<std::size_t>(g)] = v;
+  }
+  return genes;
+}
+
+ds::QuantizedDataset random_dataset(int n_features, int n_classes,
+                                    std::size_t n_samples, int bits,
+                                    std::uint64_t seed) {
+  ds::QuantizedDataset d;
+  d.n_features = n_features;
+  d.n_classes = n_classes;
+  d.input_bits = bits;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> code(0, (1 << bits) - 1);
+  std::uniform_int_distribution<int> label(0, n_classes - 1);
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    for (int f = 0; f < n_features; ++f) {
+      d.codes.push_back(static_cast<std::uint8_t>(code(rng)));
+    }
+    d.labels.push_back(label(rng));
+  }
+  return d;
+}
+
+void expect_compiled_matches_naive(const core::ApproxMlp& net,
+                                   const ds::QuantizedDataset& data) {
+  const core::CompiledNet compiled(net);
+  core::EvalWorkspace ws;
+  ASSERT_EQ(compiled.fa_area(), net.fa_area());
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const auto naive = net.forward(data.row(s));
+    const auto fast = compiled.forward(data.row(s), ws);
+    ASSERT_EQ(naive.size(), fast.size());
+    for (std::size_t k = 0; k < naive.size(); ++k) {
+      ASSERT_EQ(naive[k], fast[k]) << "sample " << s << " logit " << k;
+    }
+    ASSERT_EQ(net.predict(data.row(s)), compiled.predict(data.row(s), ws));
+  }
+  EXPECT_DOUBLE_EQ(core::accuracy(net, data), compiled.accuracy(data, ws));
+}
+
+}  // namespace
+
+TEST(CompiledNet, MatchesNaiveOnRandomChromosomes) {
+  const mlp::Topology topo{{5, 4, 3}};
+  const core::BitConfig bits;
+  const core::ChromosomeCodec codec(topo, bits);
+  const auto data = random_dataset(5, 3, 40, bits.input_bits, 11);
+
+  std::mt19937_64 rng(42);
+  const MaskStyle styles[] = {MaskStyle::kDense, MaskStyle::kSparse,
+                              MaskStyle::kFullyPruned, MaskStyle::kCoarse};
+  for (MaskStyle style : styles) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto genes = random_genes(codec, style, rng);
+      expect_compiled_matches_naive(codec.decode(genes), data);
+    }
+  }
+}
+
+TEST(CompiledNet, MatchesNaiveAfterCoarsePruningTransform) {
+  const mlp::Topology topo{{4, 3, 2}};
+  const core::BitConfig bits;
+  const core::ChromosomeCodec codec(topo, bits);
+  const auto data = random_dataset(4, 2, 30, bits.input_bits, 3);
+
+  std::mt19937_64 rng(7);
+  for (int rep = 0; rep < 8; ++rep) {
+    core::ApproxMlp net =
+        codec.decode(random_genes(codec, MaskStyle::kSparse, rng));
+    // The HwAwareProblem coarse_pruning transform: all-or-nothing masks.
+    for (auto& layer : net.layers()) {
+      const auto full = static_cast<std::uint32_t>(
+          pmlp::bitops::low_mask(layer.input_bits));
+      for (auto& c : layer.conns) {
+        if (c.mask != 0) c.mask = full;
+      }
+    }
+    net.update_qrelu_shifts();
+    expect_compiled_matches_naive(net, data);
+  }
+}
+
+TEST(CompiledNet, SingleWorkspaceServesManyNets) {
+  const core::BitConfig bits;
+  const auto small = random_dataset(3, 2, 10, bits.input_bits, 5);
+  const auto large = random_dataset(8, 3, 10, bits.input_bits, 6);
+  const core::ChromosomeCodec small_codec(mlp::Topology{{3, 2, 2}}, bits);
+  const core::ChromosomeCodec large_codec(mlp::Topology{{8, 6, 3}}, bits);
+
+  core::EvalWorkspace ws;
+  std::mt19937_64 rng(9);
+  for (int rep = 0; rep < 4; ++rep) {
+    const core::CompiledNet a(
+        small_codec.decode(random_genes(small_codec, MaskStyle::kSparse, rng)));
+    const core::CompiledNet b(
+        large_codec.decode(random_genes(large_codec, MaskStyle::kDense, rng)));
+    // Alternate between shapes through the same (growing) workspace.
+    (void)a.accuracy(small, ws);
+    (void)b.accuracy(large, ws);
+    const core::ApproxMlp ref = large_codec.decode(
+        large_codec.encode(large_codec.decode(random_genes(
+            large_codec, MaskStyle::kSparse, rng))));
+    const core::CompiledNet c(ref);
+    EXPECT_DOUBLE_EQ(c.accuracy(large, ws), core::accuracy(ref, large));
+  }
+}
+
+TEST(EvalCache, HitRefreshesAndEvictsLru) {
+  core::EvalCache cache(2);
+  const std::vector<int> g1{1, 2, 3}, g2{4, 5, 6}, g3{7, 8, 9};
+  nsga2::Problem::Evaluation ev;
+  ev.objectives = {0.5, 10.0};
+
+  EXPECT_FALSE(cache.lookup(g1, ev));
+  cache.insert(g1, {{0.1, 1.0}, 0.0});
+  cache.insert(g2, {{0.2, 2.0}, 0.5});
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch g1 so g2 becomes LRU, then insert g3: g2 must be evicted.
+  EXPECT_TRUE(cache.lookup(g1, ev));
+  EXPECT_EQ(ev.objectives[1], 1.0);
+  cache.insert(g3, {{0.3, 3.0}, 0.0});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(g1, ev));
+  EXPECT_FALSE(cache.lookup(g2, ev));
+  EXPECT_TRUE(cache.lookup(g3, ev));
+  EXPECT_EQ(ev.constraint_violation, 0.0);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_NEAR(stats.hit_rate(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(EvalCache, CapacityZeroDisables) {
+  core::EvalCache cache(0);
+  const std::vector<int> g{1, 2, 3};
+  nsga2::Problem::Evaluation ev;
+  cache.insert(g, {{0.1, 1.0}, 0.0});
+  EXPECT_FALSE(cache.lookup(g, ev));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+namespace {
+
+/// Small but real GA-AxC setup (quantized baseline + doped seeds), shared
+/// across the front-identity tests below.
+struct Fixture {
+  ds::QuantizedDataset train;
+  mlp::Topology topology;
+  mlp::QuantMlp baseline;
+
+  static Fixture make() {
+    auto spec = ds::breast_cancer_spec();
+    spec.n_samples = 100;
+    auto raw = ds::generate(spec);
+    auto split = ds::stratified_split(raw, 0.7, 1);
+    mlp::Topology topo{{raw.n_features, 3, raw.n_classes}};
+    mlp::BackpropConfig bp;
+    bp.epochs = 15;
+    bp.seed = 21;
+    auto fnet = mlp::train_float_mlp(topo, split.train, bp);
+    return Fixture{ds::quantize_inputs(split.train, 4), topo,
+                   mlp::QuantMlp::from_float(fnet, 8, 4, 8)};
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f = Fixture::make();
+  return f;
+}
+
+nsga2::Result run_ga(const core::HwAwareProblem& problem, int n_threads) {
+  nsga2::Config cfg;
+  cfg.population = 16;
+  cfg.generations = 4;
+  cfg.seed = 77;
+  cfg.n_threads = n_threads;
+  return nsga2::optimize(problem, cfg);
+}
+
+void expect_identical(const nsga2::Result& a, const nsga2::Result& b) {
+  ASSERT_EQ(a.population.size(), b.population.size());
+  ASSERT_EQ(a.pareto_front.size(), b.pareto_front.size());
+  for (std::size_t i = 0; i < a.population.size(); ++i) {
+    EXPECT_EQ(a.population[i].genes, b.population[i].genes);
+    EXPECT_EQ(a.population[i].objectives, b.population[i].objectives);
+  }
+  for (std::size_t i = 0; i < a.pareto_front.size(); ++i) {
+    EXPECT_EQ(a.pareto_front[i].genes, b.pareto_front[i].genes);
+    EXPECT_EQ(a.pareto_front[i].objectives, b.pareto_front[i].objectives);
+  }
+}
+
+}  // namespace
+
+TEST(EvalEngine, CachedAndUncachedFrontsIdenticalUnderParallelism) {
+  const auto& f = fixture();
+  const core::ChromosomeCodec codec(f.topology, core::BitConfig{});
+
+  core::ProblemConfig uncached_cfg;
+  uncached_cfg.eval_cache_capacity = 0;
+  core::HwAwareProblem uncached(codec, f.train, f.baseline, uncached_cfg);
+  const auto reference = run_ga(uncached, 1);
+
+  core::ProblemConfig cached_cfg;
+  cached_cfg.eval_cache_capacity = 1 << 12;
+  for (int n_threads : {1, 4}) {
+    core::HwAwareProblem cached(codec, f.train, f.baseline, cached_cfg);
+    expect_identical(reference, run_ga(cached, n_threads));
+    const auto stats = cached.cache_stats();
+    EXPECT_GT(stats.hits, 0) << "elitist GA should produce duplicates";
+    EXPECT_EQ(stats.lookups(), 16 * 5);  // pop * (init + generations)
+  }
+}
+
+TEST(EvalEngine, TinyCacheStaysBitIdentical) {
+  const auto& f = fixture();
+  const core::ChromosomeCodec codec(f.topology, core::BitConfig{});
+
+  core::ProblemConfig uncached_cfg;
+  uncached_cfg.eval_cache_capacity = 0;
+  core::HwAwareProblem uncached(codec, f.train, f.baseline, uncached_cfg);
+
+  // A capacity far below the population forces constant eviction; the run
+  // must still be bit-identical because cached values equal recomputation.
+  core::ProblemConfig tiny_cfg;
+  tiny_cfg.eval_cache_capacity = 3;
+  core::HwAwareProblem tiny(codec, f.train, f.baseline, tiny_cfg);
+  expect_identical(run_ga(uncached, 4), run_ga(tiny, 4));
+}
+
+TEST(EvalEngine, ProblemEvaluateMatchesNaiveObjectives) {
+  const auto& f = fixture();
+  const core::ChromosomeCodec codec(f.topology, core::BitConfig{});
+  core::ProblemConfig cfg;  // cache on: both lookups below must agree
+  core::HwAwareProblem problem(codec, f.train, f.baseline, cfg);
+
+  std::mt19937_64 rng(123);
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto genes = random_genes(codec, MaskStyle::kSparse, rng);
+    const auto ev = problem.evaluate(genes);
+    const core::ApproxMlp net = codec.decode(genes);
+    EXPECT_DOUBLE_EQ(ev.objectives[0], 1.0 - core::accuracy(net, f.train));
+    EXPECT_DOUBLE_EQ(ev.objectives[1], static_cast<double>(net.fa_area()));
+    // Second call must hit the cache and return the same thing.
+    const auto again = problem.evaluate(genes);
+    EXPECT_EQ(ev.objectives, again.objectives);
+    EXPECT_EQ(ev.constraint_violation, again.constraint_violation);
+  }
+  EXPECT_EQ(problem.cache_stats().hits, 6);
+}

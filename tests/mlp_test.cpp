@@ -192,3 +192,26 @@ TEST(QuantMlp, PredictMatchesForwardArgmax) {
     EXPECT_EQ(q.predict(qd.row(i)), arg);
   }
 }
+
+TEST(QuantMlp, ScratchForwardBitIdenticalToAllocating) {
+  const auto d = ds::generate(ds::cardio_spec());
+  mlp::BackpropConfig cfg;
+  cfg.epochs = 15;
+  cfg.seed = 9;
+  const auto net = mlp::train_float_mlp(
+      mlp::Topology{{d.n_features, 3, d.n_classes}}, d, cfg);
+  const auto q = mlp::QuantMlp::from_float(net, 8, 4, 8);
+  const auto qd = ds::quantize_inputs(d, 4);
+
+  // One scratch reused across every sample (the accuracy() hot-loop shape).
+  mlp::QuantScratch scratch;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const auto reference = q.forward(qd.row(i));
+    const auto fast = q.forward(qd.row(i), scratch);
+    ASSERT_EQ(reference.size(), fast.size());
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      EXPECT_EQ(reference[k], fast[k]) << "sample " << i << " logit " << k;
+    }
+    EXPECT_EQ(q.predict(qd.row(i)), q.predict(qd.row(i), scratch));
+  }
+}

@@ -16,13 +16,19 @@
 //                                     (0 = all hardware threads, the
 //                                     default; 1 = serial; bit-identical
 //                                     results for any setting)
+//   --cache N                         genome memo-cache capacity of the
+//                                     evaluation engine (entries; 0 = off;
+//                                     default 4096; bit-identical results
+//                                     for any setting)
 //
 // Datasets are the synthetic paper suite; swap in real UCI files by loading
 // through pmlp::datasets::load_uci in your own driver.
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -78,6 +84,7 @@ int cmd_metrics(const std::string& dataset) {
 }
 
 int g_threads = 0;  // --threads: 0 = all hardware threads
+int g_cache = -1;   // --cache: -1 = keep the ProblemConfig default
 
 core::FlowConfig default_flow(int pop, int gens) {
   core::FlowConfig cfg;
@@ -85,6 +92,7 @@ core::FlowConfig default_flow(int pop, int gens) {
   cfg.trainer.ga.population = pop;
   cfg.trainer.ga.generations = gens;
   cfg.trainer.n_threads = g_threads;
+  if (g_cache >= 0) cfg.trainer.problem.eval_cache_capacity = g_cache;
   return cfg;
 }
 
@@ -113,6 +121,11 @@ int cmd_train(const std::string& dataset, int pop, int gens,
   std::cout << "baseline: acc " << result.baseline.baseline_test_accuracy
             << ", " << result.baseline.baseline_cost.area_cm2() << " cm2, "
             << result.baseline.baseline_cost.power_mw() << " mW\n";
+  std::cout << "GA engine: " << result.training.evaluations << " evals in "
+            << result.training.wall_seconds << " s ("
+            << result.training.evals_per_second
+            << " evals/s, cache hit rate "
+            << result.training.cache_hit_rate << ")\n";
   std::cout << "true Pareto front (" << result.front.size() << " points):\n";
   std::cout << "  acc       area-cm2   power-mW   verified\n";
   for (const auto& p : result.front) {
@@ -203,10 +216,25 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
 }
 
 int usage() {
-  std::cerr << "usage: pmlp [--threads N] "
+  std::cerr << "usage: pmlp [--threads N] [--cache N] "
                "<list|metrics|baseline|train|evaluate|export> "
                "[args...]\n(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
+}
+
+/// Parse a non-negative int option value; returns -1 on error (overflow
+/// included, so huge values can't silently wrap to 0 threads / cache off).
+int parse_nonneg(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0 || errno == ERANGE ||
+      v > std::numeric_limits<int>::max()) {
+    std::cerr << "error: " << flag
+              << " expects a non-negative int, got '" << value << "'\n";
+    return -1;
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
@@ -214,19 +242,16 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], "--threads") == 0 ||
+        std::strcmp(argv[i], "--cache") == 0) {
+      const char* flag = argv[i];
       if (i + 1 >= argc) {
-        std::cerr << "error: --threads requires a value\n";
+        std::cerr << "error: " << flag << " requires a value\n";
         return usage();
       }
-      char* end = nullptr;
-      const long v = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || v < 0) {
-        std::cerr << "error: --threads expects a non-negative integer, got '"
-                  << argv[i] << "'\n";
-        return usage();
-      }
-      g_threads = static_cast<int>(v);
+      const int v = parse_nonneg(flag, argv[++i]);
+      if (v < 0) return usage();
+      (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
     } else {
       args.emplace_back(argv[i]);
     }

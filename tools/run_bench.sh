@@ -22,13 +22,16 @@ export PMLP_POP="${PMLP_POP:-24}"
 export PMLP_GENS="${PMLP_GENS:-10}"
 export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
 
-# Prints dataset rows as "name grad_s ga_s gaaxc_s ratio" with the paper's
+# Prints dataset rows as "name grad_s ga_s gaaxc_s" plus one final
+# "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, with the paper's
 # parenthesized reference minutes stripped.
 run_once() {
   PMLP_THREADS="$1" "$BENCH" |
     sed 's/([^)]*)//g' |
     awk '$1 ~ /^(BreastCancer|Cardio|Pendigits|RedWine|WhiteWine)$/ \
-         {printf "%s %s %s %s\n", $1, $2, $3, $4}'
+         {printf "%s %s %s %s\n", $1, $2, $3, $4}
+         $1 == "Throughput:" \
+         {printf "THROUGHPUT %s %s %s\n", $2, $5, $11}'
 }
 
 echo "running bench_table3_runtime serial (PMLP_THREADS=1)..." >&2
@@ -40,15 +43,21 @@ python3 - "$OUT" <<PY
 import json, os, sys
 
 def parse(block):
-    rows = {}
+    rows, perf = {}, {}
     for line in block.strip().splitlines():
-        name, grad, ga, axc = line.split()
+        fields = line.split()
+        if fields[0] == "THROUGHPUT":
+            perf = {"evals_per_s": float(fields[1]),
+                    "total_evals": int(fields[2]),
+                    "cache_hit_rate": float(fields[3])}
+            continue
+        name, grad, ga, axc = fields
         rows[name] = {"grad_s": float(grad), "ga_s": float(ga),
                       "gaaxc_s": float(axc)}
-    return rows
+    return rows, perf
 
-serial = parse("""$SERIAL""")
-parallel = parse("""$PARALLEL""")
+serial, serial_perf = parse("""$SERIAL""")
+parallel, parallel_perf = parse("""$PARALLEL""")
 total_serial = sum(r["gaaxc_s"] + r["ga_s"] for r in serial.values())
 total_parallel = sum(r["gaaxc_s"] + r["ga_s"] for r in parallel.values())
 doc = {
@@ -61,6 +70,9 @@ doc = {
     "ga_total_serial_s": round(total_serial, 3),
     "ga_total_parallel_s": round(total_parallel, 3),
     "parallel_speedup": round(total_serial / max(total_parallel, 1e-9), 3),
+    # GA-AxC evaluation-engine throughput (compiled sparse inference +
+    # genome memo cache); the per-PR perf trajectory figure.
+    "eval_throughput": {"serial": serial_perf, "parallel": parallel_perf},
 }
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2)
