@@ -1,12 +1,11 @@
 #include "bench_common.hpp"
 
-#include <algorithm>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
-#include <stdexcept>
 
 #include "pmlp/core/flow.hpp"
+#include "pmlp/core/suite.hpp"
 
 namespace pmlp::bench {
 
@@ -16,17 +15,7 @@ int env_int(const char* name, int fallback) {
   return std::atoi(v);
 }
 
-namespace {
-
-datasets::SyntheticSpec spec_for(const std::string& name) {
-  for (const auto& s : datasets::paper_suite()) {
-    if (s.name == name) return s;
-  }
-  throw std::invalid_argument("unknown dataset: " + name);
-}
-
-/// Library flow config honoring the bench environment knobs.
-core::FlowConfig flow_config(std::uint64_t seed) {
+core::FlowConfig default_flow_config(std::uint64_t seed) {
   core::FlowConfig cfg;
   cfg.split_seed = 1;
   cfg.backprop.epochs = env_int("PMLP_EPOCHS", 150);
@@ -41,15 +30,13 @@ core::FlowConfig flow_config(std::uint64_t seed) {
   return cfg;
 }
 
-}  // namespace
-
 Prepared prepare(const std::string& dataset_name) {
   Prepared p;
   p.paper = mlp::paper_row(dataset_name);
 
-  const auto data = datasets::generate(spec_for(dataset_name));
+  const auto data = core::load_paper_dataset(dataset_name);
   auto artifacts =
-      core::build_baseline(data, p.paper.topology, flow_config(1));
+      core::build_baseline(data, p.paper.topology, default_flow_config(1));
   p.train_raw = std::move(artifacts.train_raw);
   p.test_raw = std::move(artifacts.test_raw);
   p.train = std::move(artifacts.train);
@@ -57,6 +44,7 @@ Prepared prepare(const std::string& dataset_name) {
   p.float_net = std::move(artifacts.float_net);
   p.baseline = std::move(artifacts.baseline);
   p.baseline_cost = artifacts.baseline_cost;
+  p.baseline_train_accuracy = artifacts.baseline_train_accuracy;
   p.baseline_test_accuracy = artifacts.baseline_test_accuracy;
   return p;
 }
@@ -70,40 +58,38 @@ std::vector<Prepared> prepare_suite() {
 }
 
 core::TrainerConfig default_trainer_config(std::uint64_t seed) {
-  return flow_config(seed).trainer;
+  return default_flow_config(seed).trainer;
+}
+
+core::FlowEngine make_engine(const Prepared& p, std::uint64_t seed) {
+  core::FlowEngine engine(datasets::Dataset{}, p.paper.topology,
+                          default_flow_config(seed));
+  core::SplitArtifacts split;
+  split.train_raw = p.train_raw;
+  split.test_raw = p.test_raw;
+  split.train = p.train;
+  split.test = p.test;
+  engine.provide_split(std::move(split));
+  engine.provide_float_net(p.float_net);
+  core::BaselinePricing pricing;
+  pricing.net = p.baseline;
+  pricing.cost = p.baseline_cost;
+  pricing.train_accuracy = p.baseline_train_accuracy;
+  pricing.test_accuracy = p.baseline_test_accuracy;
+  engine.provide_baseline(std::move(pricing));
+  return engine;
 }
 
 OursOutcome run_ours(const Prepared& p, std::uint64_t seed) {
-  const auto cfg = flow_config(seed);
+  auto engine = make_engine(p, seed);
+  auto result = std::move(engine).run();
 
   OursOutcome out;
-  out.training =
-      core::train_ga_axc(p.paper.topology, p.train, p.baseline, cfg.trainer);
-
-  // Greedy post-GA refinement (PMLP_REFINE=0 disables): compensates for
-  // the benchmark's ~1000x smaller GA budget versus the paper's 26M
-  // evaluations by squeezing mask bits the GA did not get to explore.
-  if (cfg.refine) {
-    const double base_train_acc = mlp::accuracy(p.baseline, p.train);
-    for (auto& point : out.training.estimated_pareto) {
-      core::RefineConfig rcfg;
-      rcfg.accuracy_floor =
-          std::max(point.train_accuracy - cfg.refine_max_point_loss,
-                   base_train_acc - cfg.trainer.problem.max_accuracy_loss);
-      (void)core::refine_greedy(point.model, p.train, rcfg);
-      point.train_accuracy = core::accuracy(point.model, p.train);
-      point.fa_area = point.model.fa_area();
-    }
-  }
-
-  out.evaluated = core::evaluate_hardware(out.training.estimated_pareto,
-                                          p.test,
-                                          hwmodel::CellLibrary::egfet_1v(),
-                                          cfg.hardware);
-  const auto best = core::best_within_loss(
-      out.evaluated, p.baseline_test_accuracy, cfg.report_max_loss);
-  if (best) {
-    out.best = *best;
+  out.training = std::move(result.training);
+  out.evaluated = std::move(result.evaluated);
+  out.stages = std::move(result.stages);
+  if (result.best) {
+    out.best = *result.best;
   } else {
     // Fall back to the most accurate evaluated design (small GA budgets on
     // the hard wine datasets may miss the 5% bound by a hair).

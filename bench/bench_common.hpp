@@ -1,12 +1,15 @@
 // Shared harness for the per-table/figure bench binaries: prepares the five
 // paper datasets (synthetic stand-ins), trains + quantizes the exact bespoke
-// baseline [2], prices it on the EGFET library, and runs the GA-AxC flow.
+// baseline [2], prices it on the EGFET library, and runs the GA-AxC flow
+// through the staged core::FlowEngine (the baseline artifacts are injected,
+// so one prepared dataset serves any number of GA runs/seeds).
 //
 // Scale knobs (environment):
 //   PMLP_POP   NSGA-II population          (default 60)
 //   PMLP_GENS  NSGA-II generations         (default 30)
 //   PMLP_EPOCHS backprop epochs            (default 150)
-//   PMLP_THREADS parallel GA evaluation    (default 0 = all hardware threads)
+//   PMLP_THREADS flow-wide parallelism     (default 0 = all hardware
+//              threads; GA evaluation and hardware analysis)
 //   PMLP_CACHE genome memo-cache entries   (default 4096; 0 = off)
 //   PMLP_SC_SAMPLES stochastic-sim samples (default 200)
 // The paper's full-scale runs used ~26M evaluations; these defaults keep a
@@ -16,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/hardware_analysis.hpp"
 #include "pmlp/core/trainer.hpp"
 #include "pmlp/datasets/synthetic.hpp"
@@ -38,6 +42,7 @@ struct Prepared {
   mlp::FloatMlp float_net;          ///< gradient-trained reference
   mlp::QuantMlp baseline;           ///< exact bespoke baseline [2]
   hwmodel::CircuitCost baseline_cost;  ///< baseline netlist at 1 V
+  double baseline_train_accuracy = 0.0;
   double baseline_test_accuracy = 0.0;
 };
 
@@ -47,8 +52,16 @@ Prepared prepare(const std::string& dataset_name);
 /// All five, Table I order.
 std::vector<Prepared> prepare_suite();
 
+/// Flow config honoring the env knobs (GA seeded with `seed`).
+core::FlowConfig default_flow_config(std::uint64_t seed = 1);
+
 /// Trainer defaults honoring the env knobs.
 core::TrainerConfig default_trainer_config(std::uint64_t seed = 1);
+
+/// FlowEngine primed with `p`'s already-built artifacts: the split,
+/// float-net and baseline stages are injected (reported as reused), so
+/// run() only executes GA -> refine -> hardware -> select.
+core::FlowEngine make_engine(const Prepared& p, std::uint64_t seed = 1);
 
 /// GA-AxC + hardware sign-off; returns the Table II pick (min area within
 /// 5% test-accuracy loss; falls back to the most accurate evaluated design).
@@ -56,6 +69,7 @@ struct OursOutcome {
   core::TrainingResult training;
   std::vector<core::HwEvaluatedPoint> evaluated;
   core::HwEvaluatedPoint best;
+  std::vector<core::StageReport> stages;  ///< ga/refine/hardware/select walls
 };
 OursOutcome run_ours(const Prepared& p, std::uint64_t seed = 1);
 

@@ -4,9 +4,16 @@
 // The paper's absolute minutes come from ~26M-evaluation runs on an EPYC;
 // here the same three trainers run at a scaled-down budget and the *ratios*
 // (GA ~ GA-AxC >> gradient) are the reproduced shape.
+//
+// (3) runs through the staged FlowEngine, so this bench also reports the
+// aggregate per-stage wall times of the full Fig. 2 pipeline (including the
+// pool-parallel hardware-analysis stage) — parsed by tools/run_bench.sh
+// into BENCH_table3.json.
 #include <iostream>
+#include <map>
 
 #include "bench_common.hpp"
+#include "pmlp/core/suite.hpp"
 
 int main() {
   using namespace pmlp;
@@ -28,25 +35,33 @@ int main() {
 
   double sum_grad = 0, sum_ga = 0, sum_axc = 0;
   long axc_evals = 0, axc_cache_hits = 0;
+  std::map<std::string, double> stage_walls;  // aggregated over datasets
+  long hw_candidates = 0;
   for (const auto& pr : paper) {
-    const auto p = bench::prepare(pr.name);
+    // Full Fig. 2 pipeline through the FlowEngine (GA seeded like the old
+    // bench: default_trainer_config(2)); its stage reports provide the
+    // per-stage wall times, its training result the GA-AxC timing.
+    auto cfg = bench::default_flow_config(2);
+    core::FlowEngine engine(core::load_paper_dataset(pr.name),
+                            core::paper_topology(pr.name), cfg);
+    const auto flow = engine.run();
+    for (const auto& s : flow.stages) {
+      stage_walls[core::flow_stage_name(s.stage)] += s.wall_seconds;
+      if (s.stage == core::FlowStage::kHardware) hw_candidates += s.items;
+    }
+    const auto& axc = flow.training;
 
-    // (1) Gradient training time (already measured during prepare; rerun
-    // for a clean timing at the same epochs budget).
+    // (1) Gradient training time: a clean rerun at the same epochs budget.
     mlp::BackpropConfig bp;
     bp.epochs = bench::env_int("PMLP_EPOCHS", 150);
     bp.seed = 77;
-    mlp::FloatMlp net(p.paper.topology, 77);
-    const auto grad = mlp::train_backprop(net, p.train_raw, bp);
+    mlp::FloatMlp net(core::paper_topology(pr.name), 77);
+    const auto grad =
+        mlp::train_backprop(net, flow.baseline.train_raw, bp);
 
     // (2) GA accuracy-only, same evaluation budget as (3).
-    auto cfg = bench::default_trainer_config(2);
-    const auto ga =
-        core::train_ga_accuracy_only(p.paper.topology, p.train, cfg);
-
-    // (3) GA-AxC (ours).
-    const auto axc = core::train_ga_axc(p.paper.topology, p.train,
-                                        p.baseline, cfg);
+    const auto ga = core::train_ga_accuracy_only(
+        core::paper_topology(pr.name), flow.baseline.train, cfg.trainer);
 
     sum_grad += grad.wall_seconds;
     sum_ga += ga.wall_seconds;
@@ -75,6 +90,18 @@ int main() {
                               std::max<double>(static_cast<double>(axc_evals),
                                                1.0), 0, 4)
             << "\n";
+  // Per-stage pipeline accounting (also parsed by tools/run_bench.sh).
+  std::cout << "\nPer-stage wall times (FlowEngine, seconds summed over the "
+               "5 datasets):\n";
+  for (const char* name :
+       {"split", "backprop", "baseline", "ga", "refine", "hardware",
+        "select"}) {
+    const auto it = stage_walls.find(name);
+    if (it == stage_walls.end()) continue;
+    std::cout << "StageWall " << name << ' '
+              << bench::fmt(it->second, 0, 4) << "\n";
+  }
+  std::cout << "HwCandidates " << hw_candidates << "\n";
   std::cout << "\nAverage: grad " << bench::fmt(sum_grad / 5, 0, 2)
             << " s, GA " << bench::fmt(sum_ga / 5, 0, 2) << " s, GA-AxC "
             << bench::fmt(sum_axc / 5, 0, 2)

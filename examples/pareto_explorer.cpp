@@ -1,20 +1,16 @@
 // Pareto explorer: runs GA-AxC on any of the five paper datasets (argv[1],
 // default Cardio) and dumps the full estimated + hardware-evaluated Pareto
 // fronts as CSV to stdout — the raw material of the paper's accuracy-area
-// trade-off analysis (Fig. 2 right).
+// trade-off analysis (Fig. 2 right). A thin FlowEngine wrapper; refinement
+// is disabled so the CSV shows the raw GA front.
 //
 // Usage: pareto_explorer [BreastCancer|Cardio|Pendigits|RedWine|WhiteWine]
 //        [population] [generations]
 #include <iostream>
 #include <string>
 
-#include "pmlp/core/hardware_analysis.hpp"
-#include "pmlp/core/trainer.hpp"
-#include "pmlp/datasets/synthetic.hpp"
-#include "pmlp/mlp/backprop.hpp"
-#include "pmlp/mlp/topology.hpp"
-#include "pmlp/netlist/from_quant.hpp"
-#include "pmlp/netlist/builders.hpp"
+#include "pmlp/core/flow_engine.hpp"
+#include "pmlp/core/suite.hpp"
 
 int main(int argc, char** argv) {
   using namespace pmlp;
@@ -22,48 +18,31 @@ int main(int argc, char** argv) {
   const int population = argc > 2 ? std::atoi(argv[2]) : 40;
   const int generations = argc > 3 ? std::atoi(argv[3]) : 30;
 
-  datasets::SyntheticSpec spec;
-  bool found = false;
-  for (const auto& s : datasets::paper_suite()) {
-    if (s.name == name) {
-      spec = s;
-      found = true;
-    }
-  }
-  if (!found) {
-    std::cerr << "unknown dataset " << name << "\n";
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 150;
+  cfg.trainer.ga.population = population;
+  cfg.trainer.ga.generations = generations;
+  cfg.refine = false;  // dump the raw GA front
+
+  datasets::Dataset data;
+  try {
+    data = core::load_paper_dataset(name);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
-  const auto& row = mlp::paper_row(name);
-
-  const auto raw = datasets::generate(spec);
-  const auto split = datasets::stratified_split(raw, 0.7, 1);
-  const auto train = datasets::quantize_inputs(split.train, 4);
-  const auto test = datasets::quantize_inputs(split.test, 4);
-
-  mlp::BackpropConfig bp;
-  bp.epochs = 150;
-  const auto float_net = mlp::train_float_mlp(row.topology, split.train, bp);
-  const auto baseline = mlp::QuantMlp::from_float(float_net);
-  const auto& lib = hwmodel::CellLibrary::egfet_1v();
-  const auto base_cost =
-      netlist::build_bespoke_mlp(netlist::to_bespoke_desc(baseline, "exact"))
-          .nl.cost(lib);
-
-  core::TrainerConfig cfg;
-  cfg.ga.population = population;
-  cfg.ga.generations = generations;
-  std::cerr << "training " << name << " " << row.topology.to_string()
+  std::cerr << "training " << name << " "
+            << core::paper_topology(name).to_string()
             << " with pop=" << population << " gens=" << generations << "\n";
-  const auto result = core::train_ga_axc(row.topology, train, baseline, cfg);
-  const auto evaluated =
-      core::evaluate_hardware(result.estimated_pareto, test, lib);
+  core::FlowEngine engine(std::move(data), core::paper_topology(name), cfg);
+  const auto result = engine.run();
+  const auto& base_cost = result.baseline.baseline_cost;
 
   std::cout << "dataset,point,train_acc,test_acc,fa_area,area_cm2,power_mw,"
                "norm_area,norm_power,functional_match\n";
-  for (std::size_t i = 0; i < evaluated.size(); ++i) {
-    const auto& est = result.estimated_pareto[i];
-    const auto& hw = evaluated[i];
+  for (std::size_t i = 0; i < result.evaluated.size(); ++i) {
+    const auto& est = result.training.estimated_pareto[i];
+    const auto& hw = result.evaluated[i];
     std::cout << name << ',' << i << ',' << est.train_accuracy << ','
               << hw.test_accuracy << ',' << hw.fa_area << ','
               << hw.cost.area_cm2() << ',' << hw.cost.power_mw() << ','

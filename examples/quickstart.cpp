@@ -1,73 +1,56 @@
-// Quickstart: the complete Fig. 2 flow in ~60 lines.
+// Quickstart: the complete Fig. 2 flow through the staged FlowEngine.
 //   1. make a dataset (synthetic Breast-Cancer stand-in),
-//   2. train + quantize the exact bespoke baseline [2],
-//   3. run GA-AxC hardware-aware training (NSGA-II over masks/signs/
-//      exponents/biases),
-//   4. "synthesize" the Pareto candidates and pick the best design within
-//      5% accuracy loss,
-//   5. print its cost and export Verilog.
+//   2. run the pipeline — split/quantize, float training, exact bespoke
+//      baseline [2], GA-AxC hardware-aware training, greedy refinement,
+//      gate-level pricing/verification, Table II pick — watching each
+//      stage report its wall time,
+//   3. print the picked design's cost and export Verilog.
 #include <fstream>
 #include <iostream>
 
-#include "pmlp/core/hardware_analysis.hpp"
-#include "pmlp/core/trainer.hpp"
+#include "pmlp/core/flow_engine.hpp"
 #include "pmlp/datasets/synthetic.hpp"
-#include "pmlp/mlp/backprop.hpp"
 #include "pmlp/netlist/builders.hpp"
-#include "pmlp/netlist/from_quant.hpp"
 #include "pmlp/netlist/verilog.hpp"
 
 int main() {
   using namespace pmlp;
 
-  // 1. Dataset: 10 features, 2 classes, normalized to [0,1], 70/30 split,
-  //    4-bit quantized inputs (the printed circuit's native format).
+  // 1. Dataset: 10 features, 2 classes, normalized to [0,1]. The engine
+  //    does the 70/30 stratified split and 4-bit input quantization itself.
   const auto raw = datasets::generate(datasets::breast_cancer_spec());
-  const auto split = datasets::stratified_split(raw, 0.7, 1);
-  const auto train = datasets::quantize_inputs(split.train, 4);
-  const auto test = datasets::quantize_inputs(split.test, 4);
 
-  // 2. Exact bespoke baseline: float MLP -> 8-bit weights / 4-bit inputs.
-  mlp::BackpropConfig bp;
-  bp.epochs = 100;
-  const auto float_net =
-      mlp::train_float_mlp(mlp::Topology{{10, 3, 2}}, split.train, bp);
-  const auto baseline = mlp::QuantMlp::from_float(float_net);
-  const auto& lib = hwmodel::CellLibrary::egfet_1v();
-  const auto base_cost =
-      netlist::build_bespoke_mlp(netlist::to_bespoke_desc(baseline, "exact"))
-          .nl.cost(lib);
-  const double base_acc = mlp::accuracy(baseline, test);
-  std::cout << "baseline: acc " << base_acc << ", area "
-            << base_cost.area_cm2() << " cm2, power " << base_cost.power_mw()
+  // 2. The whole pipeline as one engine run with a progress callback.
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 100;
+  cfg.trainer.ga.population = 40;
+  cfg.trainer.ga.generations = 25;
+  core::FlowEngine engine(raw, mlp::Topology{{10, 3, 2}}, cfg);
+  engine.set_progress([](const core::StageReport& r) {
+    std::cout << "stage " << core::flow_stage_name(r.stage) << ": "
+              << r.wall_seconds << " s (" << r.items << " items)\n";
+  });
+  const auto result = engine.run();
+
+  std::cout << "\nbaseline: acc " << result.baseline.baseline_test_accuracy
+            << ", area " << result.baseline.baseline_cost.area_cm2()
+            << " cm2, power " << result.baseline.baseline_cost.power_mw()
             << " mW\n";
-
-  // 3. GA-AxC training (Eq. 3: minimize [error, FA-count area]).
-  core::TrainerConfig cfg;
-  cfg.ga.population = 40;
-  cfg.ga.generations = 25;
-  const auto result =
-      core::train_ga_axc(mlp::Topology{{10, 3, 2}}, train, baseline, cfg);
-  std::cout << "GA-AxC: " << result.evaluations << " evaluations, "
-            << result.estimated_pareto.size() << " estimated-Pareto points\n";
-
-  // 4. Hardware sign-off + Table II pick.
-  const auto evaluated =
-      core::evaluate_hardware(result.estimated_pareto, test, lib);
-  const auto best = core::best_within_loss(evaluated, base_acc, 0.05);
-  if (!best) {
+  std::cout << "GA-AxC: " << result.training.evaluations << " evaluations, "
+            << result.front.size() << " true-Pareto points\n";
+  if (!result.best) {
     std::cout << "no design met the 5% bound at this tiny GA budget\n";
     return 1;
   }
-  std::cout << "best within 5% loss: acc " << best->test_accuracy << ", area "
-            << best->cost.area_cm2() << " cm2 ("
-            << base_cost.area_mm2 / best->cost.area_mm2 << "x smaller), power "
-            << best->cost.power_mw() << " mW ("
-            << base_cost.power_uw / best->cost.power_uw << "x lower)\n";
+  std::cout << "best within 5% loss: acc " << result.best->test_accuracy
+            << ", area " << result.best->cost.area_cm2() << " cm2 ("
+            << result.area_reduction << "x smaller), power "
+            << result.best->cost.power_mw() << " mW ("
+            << result.power_reduction << "x lower)\n";
 
-  // 5. Export the bespoke circuit as Verilog.
-  const auto circuit =
-      netlist::build_bespoke_mlp(best->model.to_bespoke_desc("approx_mlp"));
+  // 3. Export the bespoke circuit as Verilog.
+  const auto circuit = netlist::build_bespoke_mlp(
+      result.best->model.to_bespoke_desc("approx_mlp"));
   std::ofstream out("approx_mlp.v");
   netlist::emit_verilog(circuit.nl, "approx_mlp", out);
   std::cout << "wrote approx_mlp.v (" << circuit.nl.gates().size()

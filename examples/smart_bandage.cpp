@@ -1,54 +1,44 @@
 // Smart-bandage scenario: the paper's motivating application class —
 // a disposable health patch classifying a biosignal (Breast-Cancer-like
 // binary screening task) that must run from a printed energy harvester.
-// The example searches the GA-AxC Pareto front for the *least-power* design
-// that (a) stays within 5% accuracy loss and (b) fits the harvester budget
-// at 0.6 V, then reports the feasibility ladder of Fig. 5.
+// The example runs the FlowEngine pipeline, searches the hardware-evaluated
+// designs for the *least-power* one that (a) stays within 5% accuracy loss
+// and (b) fits the harvester budget at 0.6 V, then reports the feasibility
+// ladder of Fig. 5 and a stuck-at fault campaign on the deployable design.
 #include <iostream>
 
-#include "pmlp/core/hardware_analysis.hpp"
-#include "pmlp/core/trainer.hpp"
+#include "pmlp/core/flow_engine.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/hwmodel/power.hpp"
-#include "pmlp/mlp/backprop.hpp"
 #include "pmlp/netlist/builders.hpp"
 #include "pmlp/netlist/faults.hpp"
-#include "pmlp/netlist/from_quant.hpp"
 
 int main() {
   using namespace pmlp;
 
-  const auto raw = datasets::generate(datasets::breast_cancer_spec());
-  const auto split = datasets::stratified_split(raw, 0.7, 11);
-  const auto train = datasets::quantize_inputs(split.train, 4);
-  const auto test = datasets::quantize_inputs(split.test, 4);
+  core::FlowConfig cfg;
+  cfg.split_seed = 11;
+  cfg.backprop.epochs = 100;
+  cfg.backprop.seed = 11;
+  cfg.trainer.ga.population = 40;
+  cfg.trainer.ga.generations = 30;
+  cfg.trainer.ga.seed = 11;
+  cfg.refine = false;  // keep the raw GA designs for the ladder
+  core::FlowEngine engine(
+      datasets::generate(datasets::breast_cancer_spec()),
+      mlp::Topology{{10, 3, 2}}, cfg);
+  const auto result = engine.run();
+  const double base_acc = result.baseline.baseline_test_accuracy;
+  const auto& test = result.baseline.test;
 
-  mlp::BackpropConfig bp;
-  bp.epochs = 100;
-  bp.seed = 11;
-  const auto float_net =
-      mlp::train_float_mlp(mlp::Topology{{10, 3, 2}}, split.train, bp);
-  const auto baseline = mlp::QuantMlp::from_float(float_net);
-  const double base_acc = mlp::accuracy(baseline, test);
-
-  const auto& lib_1v = hwmodel::CellLibrary::egfet_1v();
-  const auto lib_06v = lib_1v.at_voltage(0.6);
-
-  core::TrainerConfig cfg;
-  cfg.ga.population = 40;
-  cfg.ga.generations = 30;
-  cfg.ga.seed = 11;
-  const auto result =
-      core::train_ga_axc(mlp::Topology{{10, 3, 2}}, train, baseline, cfg);
-  const auto evaluated =
-      core::evaluate_hardware(result.estimated_pareto, test, lib_1v);
+  const auto lib_06v = hwmodel::CellLibrary::egfet_1v().at_voltage(0.6);
 
   std::cout << "Smart bandage design exploration (baseline acc " << base_acc
             << "):\n\n";
   std::cout << "  acc      area cm2   P@1.0V mW  P@0.6V mW  zone@0.6V\n";
 
   bool found = false;
-  for (const auto& p : evaluated) {
+  for (const auto& p : result.evaluated) {
     if (p.test_accuracy < base_acc - 0.05) continue;
     const auto circuit =
         netlist::build_bespoke_mlp(p.model.to_bespoke_desc("bandage"));
@@ -74,7 +64,7 @@ int main() {
   // Disposable printed hardware has high manufacturing defect rates:
   // check how gracefully the cheapest deployable design degrades under
   // single stuck-at faults before committing to fabrication.
-  for (const auto& p : evaluated) {
+  for (const auto& p : result.evaluated) {
     if (p.test_accuracy < base_acc - 0.05) continue;
     const auto circuit =
         netlist::build_bespoke_mlp(p.model.to_bespoke_desc("bandage"));

@@ -3,15 +3,18 @@
 // flow — the trained model file, the optimized DUT netlist, and a
 // self-checking testbench with recorded stimulus/expected classes.
 //
+// The flow runs through the FlowEngine with a checkpoint directory under
+// the output dir, so re-running (e.g. after an interrupt, or to re-export
+// with different budgets downstream) resumes from the completed stages.
+//
 // Usage: verilog_export [dataset=BreastCancer] [outdir=.]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
-#include "pmlp/core/flow.hpp"
+#include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/serialize.hpp"
-#include "pmlp/datasets/synthetic.hpp"
-#include "pmlp/mlp/topology.hpp"
+#include "pmlp/core/suite.hpp"
 #include "pmlp/netlist/opt.hpp"
 #include "pmlp/netlist/testbench.hpp"
 #include "pmlp/netlist/verilog.hpp"
@@ -21,16 +24,11 @@ int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "BreastCancer";
   const std::filesystem::path outdir = argc > 2 ? argv[2] : ".";
 
-  datasets::SyntheticSpec spec;
-  bool found = false;
-  for (const auto& s : datasets::paper_suite()) {
-    if (s.name == name) {
-      spec = s;
-      found = true;
-    }
-  }
-  if (!found) {
-    std::cerr << "unknown dataset " << name << "\n";
+  datasets::Dataset data;
+  try {
+    data = core::load_paper_dataset(name);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
 
@@ -38,11 +36,16 @@ int main(int argc, char** argv) {
   cfg.backprop.epochs = 120;
   cfg.trainer.ga.population = 80;
   cfg.trainer.ga.generations = 200;
-  const auto& row = mlp::paper_row(name);
-  std::cerr << "running flow on " << name << " " << row.topology.to_string()
-            << "...\n";
-  const auto result =
-      core::run_flow(datasets::generate(spec), row.topology, cfg);
+  std::cerr << "running flow on " << name << " "
+            << core::paper_topology(name).to_string() << "...\n";
+  core::FlowEngine engine(std::move(data), core::paper_topology(name), cfg);
+  engine.set_checkpoint_dir((outdir / (name + "_ckpt")).string());
+  engine.set_progress([](const core::StageReport& r) {
+    std::cerr << "  stage " << core::flow_stage_name(r.stage) << ": "
+              << r.wall_seconds << " s" << (r.reused ? " (resumed)" : "")
+              << "\n";
+  });
+  const auto result = engine.run();
   // Prefer the Table II pick; fall back to the most accurate verified
   // design so the export always produces artifacts.
   core::HwEvaluatedPoint chosen;

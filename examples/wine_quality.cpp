@@ -1,72 +1,59 @@
 // Wine-quality scenario: the paper's hardest datasets (RedWine/WhiteWine,
 // 6-7 heavily overlapping classes). This example contrasts three routes to
 // a printed classifier on RedWine:
-//   (a) the exact bespoke baseline [2],
-//   (b) post-training approximation (TC'23 [5]),
-//   (c) our in-training GA-AxC approximation,
+//   (a) the exact bespoke baseline [2] (the FlowEngine's baseline stage),
+//   (b) post-training approximation (TC'23 [5]) on that same baseline,
+//   (c) our in-training GA-AxC approximation (the remaining stages),
 // showing why embedding the approximations in training wins (paper Fig. 4:
 // 470x area reduction on RedWine vs 5% loss).
 #include <iostream>
 
 #include "pmlp/baselines/tc23.hpp"
-#include "pmlp/core/hardware_analysis.hpp"
-#include "pmlp/core/trainer.hpp"
-#include "pmlp/datasets/synthetic.hpp"
-#include "pmlp/mlp/backprop.hpp"
-#include "pmlp/netlist/builders.hpp"
-#include "pmlp/netlist/from_quant.hpp"
+#include "pmlp/core/flow_engine.hpp"
+#include "pmlp/core/suite.hpp"
 
 int main() {
   using namespace pmlp;
 
-  const auto raw = datasets::generate(datasets::red_wine_spec());
-  const auto split = datasets::stratified_split(raw, 0.7, 3);
-  const auto train = datasets::quantize_inputs(split.train, 4);
-  const auto test = datasets::quantize_inputs(split.test, 4);
-  const mlp::Topology topo{{11, 2, 6}};  // Table I RedWine topology
+  core::FlowConfig cfg;
+  cfg.split_seed = 3;
+  cfg.backprop.epochs = 150;
+  cfg.backprop.seed = 3;
+  cfg.trainer.ga.population = 40;
+  cfg.trainer.ga.generations = 30;
+  cfg.trainer.ga.seed = 3;
+  cfg.refine = false;
+  core::FlowEngine engine(core::load_paper_dataset("RedWine"),
+                          core::paper_topology("RedWine"), cfg);
 
-  mlp::BackpropConfig bp;
-  bp.epochs = 150;
-  bp.seed = 3;
-  const auto float_net = mlp::train_float_mlp(topo, split.train, bp);
-  const auto baseline = mlp::QuantMlp::from_float(float_net);
+  // (a) exact baseline — just the first three stages.
+  const auto& baseline = engine.baseline();
+  const auto& split = engine.split();
   const auto& lib = hwmodel::CellLibrary::egfet_1v();
+  std::cout << "(a) exact bespoke [2]:  acc " << baseline.test_accuracy
+            << ", area " << baseline.cost.area_cm2() << " cm2, power "
+            << baseline.cost.power_mw() << " mW\n";
 
-  // (a) exact baseline.
-  const auto base_cost =
-      netlist::build_bespoke_mlp(netlist::to_bespoke_desc(baseline, "exact"))
-          .nl.cost(lib);
-  const double base_acc = mlp::accuracy(baseline, test);
-  std::cout << "(a) exact bespoke [2]:  acc " << base_acc << ", area "
-            << base_cost.area_cm2() << " cm2, power " << base_cost.power_mw()
-            << " mW\n";
-
-  // (b) post-training approximation, TC'23-style.
-  const auto tc = baselines::run_tc23(baseline, train, test, lib);
+  // (b) post-training approximation, TC'23-style, on the same baseline.
+  const auto tc =
+      baselines::run_tc23(baseline.net, split.train, split.test, lib);
   std::cout << "(b) post-training [5]:  acc " << tc.test_accuracy << ", area "
             << tc.cost.area_cm2() << " cm2 ("
-            << base_cost.area_mm2 / tc.cost.area_mm2
+            << baseline.cost.area_mm2 / tc.cost.area_mm2
             << "x), config: popcount<=" << tc.max_popcount << ", truncate "
             << tc.truncation << " columns\n";
 
-  // (c) ours: approximation inside the training loop.
-  core::TrainerConfig cfg;
-  cfg.ga.population = 40;
-  cfg.ga.generations = 30;
-  cfg.ga.seed = 3;
-  const auto result = core::train_ga_axc(topo, train, baseline, cfg);
-  const auto evaluated =
-      core::evaluate_hardware(result.estimated_pareto, test, lib);
-  const auto best = core::best_within_loss(evaluated, base_acc, 0.05);
-  if (!best) {
+  // (c) ours: approximation inside the training loop (remaining stages).
+  const auto result = engine.run();
+  if (!result.best) {
     std::cout << "(c) ours: no design within 5% at this budget\n";
     return 1;
   }
-  std::cout << "(c) ours (GA-AxC):      acc " << best->test_accuracy
-            << ", area " << best->cost.area_cm2() << " cm2 ("
-            << base_cost.area_mm2 / best->cost.area_mm2 << "x), power "
-            << best->cost.power_mw() << " mW ("
-            << base_cost.power_uw / best->cost.power_uw << "x)\n";
+  std::cout << "(c) ours (GA-AxC):      acc " << result.best->test_accuracy
+            << ", area " << result.best->cost.area_cm2() << " cm2 ("
+            << result.area_reduction << "x), power "
+            << result.best->cost.power_mw() << " mW ("
+            << result.power_reduction << "x)\n";
 
   std::cout << "\nwhy (c) beats (b): the GA retrains signs/exponents/biases "
                "around the pruning masks instead of approximating a frozen "

@@ -1,74 +1,22 @@
 #include "pmlp/core/flow.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "pmlp/netlist/builders.hpp"
-#include "pmlp/netlist/from_quant.hpp"
-#include "pmlp/netlist/opt.hpp"
+#include "pmlp/core/flow_engine.hpp"
 
 namespace pmlp::core {
 
 BaselineArtifacts build_baseline(const datasets::Dataset& data,
                                  const mlp::Topology& topology,
                                  const FlowConfig& cfg) {
-  BaselineArtifacts out;
-  auto split =
-      datasets::stratified_split(data, cfg.train_fraction, cfg.split_seed);
-  out.train = datasets::quantize_inputs(split.train, cfg.trainer.bits.input_bits);
-  out.test = datasets::quantize_inputs(split.test, cfg.trainer.bits.input_bits);
-  out.train_raw = std::move(split.train);
-  out.test_raw = std::move(split.test);
-
-  out.float_net = mlp::train_float_mlp(topology, out.train_raw, cfg.backprop);
-  out.baseline = mlp::QuantMlp::from_float(
-      out.float_net, cfg.trainer.bits.weight_bits, cfg.trainer.bits.input_bits,
-      cfg.trainer.bits.act_bits);
-  out.baseline_train_accuracy = mlp::accuracy(out.baseline, out.train);
-  out.baseline_test_accuracy = mlp::accuracy(out.baseline, out.test);
-
-  const auto circuit = netlist::build_bespoke_mlp(
-      netlist::to_bespoke_desc(out.baseline, data.name + "_exact"));
-  out.baseline_cost =
-      netlist::optimize(circuit.nl).cost(hwmodel::CellLibrary::egfet_1v());
-  return out;
+  FlowEngine engine(data, topology, cfg);
+  return std::move(engine).baseline_artifacts();
 }
 
 FlowResult run_flow(const datasets::Dataset& data,
                     const mlp::Topology& topology, const FlowConfig& cfg) {
-  FlowResult result;
-  result.baseline = build_baseline(data, topology, cfg);
-
-  result.training = train_ga_axc(topology, result.baseline.train,
-                                 result.baseline.baseline, cfg.trainer);
-
-  if (cfg.refine) {
-    for (auto& point : result.training.estimated_pareto) {
-      RefineConfig rcfg;
-      rcfg.accuracy_floor =
-          std::max(point.train_accuracy - cfg.refine_max_point_loss,
-                   result.baseline.baseline_train_accuracy -
-                       cfg.trainer.problem.max_accuracy_loss);
-      (void)refine_greedy(point.model, result.baseline.train, rcfg);
-      point.train_accuracy = accuracy(point.model, result.baseline.train);
-      point.fa_area = point.model.fa_area();
-    }
-  }
-
-  result.evaluated = evaluate_hardware(result.training.estimated_pareto,
-                                       result.baseline.test,
-                                       hwmodel::CellLibrary::egfet_1v(),
-                                       cfg.hardware);
-  result.front = true_pareto(result.evaluated);
-  result.best = best_within_loss(result.evaluated,
-                                 result.baseline.baseline_test_accuracy,
-                                 cfg.report_max_loss);
-  if (result.best) {
-    result.area_reduction =
-        result.baseline.baseline_cost.area_mm2 / result.best->cost.area_mm2;
-    result.power_reduction =
-        result.baseline.baseline_cost.power_uw / result.best->cost.power_uw;
-  }
-  return result;
+  FlowEngine engine(data, topology, cfg);
+  return std::move(engine).run();
 }
 
 }  // namespace pmlp::core

@@ -1,8 +1,12 @@
 // End-to-end convenience flow (the whole Fig. 2 pipeline as a library
 // call): dataset -> gradient-trained float MLP -> quantized bespoke
 // baseline [2] -> GA-AxC training -> optional greedy refinement ->
-// gate-level pricing/verification -> Table II design pick. The bench
-// binaries and examples are thin wrappers over these entry points.
+// gate-level pricing/verification -> Table II design pick.
+//
+// run_flow()/build_baseline() are thin wrappers over the staged FlowEngine
+// (flow_engine.hpp), which additionally offers per-stage timings, progress
+// callbacks and checkpoint/resume. The bench binaries and examples are thin
+// wrappers over these entry points.
 #pragma once
 
 #include <optional>
@@ -21,14 +25,60 @@ struct FlowConfig {
   std::uint64_t split_seed = 1;
   mlp::BackpropConfig backprop;    ///< float/gradient training
   TrainerConfig trainer;           ///< GA-AxC; trainer.n_threads is the
-                                   ///< flow-wide parallelism knob (0 = auto)
-                                   ///< and trainer.problem.eval_cache_capacity
+                                   ///< flow-wide parallelism knob (0 = auto),
+                                   ///< applied to both the GA engine and the
+                                   ///< hardware-analysis stage, and
+                                   ///< trainer.problem.eval_cache_capacity
                                    ///< the genome memo-cache size (0 = off) —
                                    ///< both bit-identical for any setting
   bool refine = true;              ///< greedy post-GA refinement extension
   double refine_max_point_loss = 0.01;
   double report_max_loss = 0.05;   ///< Table II selection bound
-  HardwareAnalysisConfig hardware; ///< equivalence-check depth
+  HardwareAnalysisConfig hardware; ///< equivalence-check depth; n_threads is
+                                   ///< superseded by trainer.n_threads
+};
+
+/// The Fig. 2 stages, in pipeline order.
+enum class FlowStage {
+  kSplit,     ///< stratified split + input quantization
+  kBackprop,  ///< gradient-trained float reference
+  kBaseline,  ///< quantized bespoke baseline [2] + 1 V pricing
+  kGa,        ///< GA-AxC hardware-aware training (NSGA-II)
+  kRefine,    ///< greedy post-GA refinement (optional)
+  kHardware,  ///< netlist build + pricing + equivalence per candidate
+  kSelect,    ///< true Pareto + Table II pick
+};
+inline constexpr int kNumFlowStages = 7;
+
+/// Stable lower-case stage name ("split", "backprop", ...).
+[[nodiscard]] const char* flow_stage_name(FlowStage stage);
+
+/// Wall-time / work accounting of one executed (or reloaded) stage —
+/// TrainingResult-style counters at flow granularity.
+struct StageReport {
+  FlowStage stage = FlowStage::kSplit;
+  double wall_seconds = 0.0;  ///< compute time, or checkpoint-load time
+  bool reused = false;        ///< loaded from checkpoint / injected artifact
+  long items = 0;             ///< stage-specific work count: samples split,
+                              ///< GA evaluations, candidates priced, ...
+};
+
+/// Output of the split stage: the paper's 70/30 stratified split with
+/// 4-bit-quantized copies (what training and hardware actually consume).
+struct SplitArtifacts {
+  datasets::Dataset train_raw;
+  datasets::Dataset test_raw;
+  datasets::QuantizedDataset train;
+  datasets::QuantizedDataset test;
+};
+
+/// Output of the baseline stage: the exact bespoke quantized baseline [2],
+/// its 1 V netlist pricing and its accuracy on both split halves.
+struct BaselinePricing {
+  mlp::QuantMlp net;
+  hwmodel::CircuitCost cost;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
 };
 
 /// Everything produced up to (and including) the baseline.
@@ -61,6 +111,8 @@ struct FlowResult {
   std::optional<HwEvaluatedPoint> best;
   double area_reduction = 0.0;   ///< baseline/best (0 if no pick)
   double power_reduction = 0.0;
+  /// Per-stage wall times, pipeline order (refine omitted when disabled).
+  std::vector<StageReport> stages;
 };
 
 /// Run the complete pipeline on a normalized dataset.

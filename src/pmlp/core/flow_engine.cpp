@@ -1,0 +1,621 @@
+#include "pmlp/core/flow_engine.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pmlp/core/serialize.hpp"
+#include "pmlp/netlist/builders.hpp"
+#include "pmlp/netlist/from_quant.hpp"
+#include "pmlp/netlist/opt.hpp"
+
+namespace pmlp::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMetaFile = "meta.txt";
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::ifstream open_artifact(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("FlowEngine: cannot open " + path);
+  }
+  return is;
+}
+
+/// Write through a temp file + rename so an interrupted run never leaves a
+/// half-written artifact that a resume would then reject. The stream is
+/// flushed and checked before the rename — a failed write (disk full, I/O
+/// error) must not install a truncated artifact.
+void write_artifact(const std::string& path,
+                    const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) throw std::runtime_error("FlowEngine: cannot write " + tmp);
+    try {
+      writer(os);
+      os.flush();
+      if (!os) {
+        throw std::runtime_error("FlowEngine: short write to " + tmp);
+      }
+    } catch (...) {
+      os.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw;
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace
+
+const char* flow_stage_name(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kSplit: return "split";
+    case FlowStage::kBackprop: return "backprop";
+    case FlowStage::kBaseline: return "baseline";
+    case FlowStage::kGa: return "ga";
+    case FlowStage::kRefine: return "refine";
+    case FlowStage::kHardware: return "hardware";
+    case FlowStage::kSelect: return "select";
+  }
+  return "?";
+}
+
+FlowEngine::FlowEngine(datasets::Dataset data, mlp::Topology topology,
+                       FlowConfig cfg)
+    : data_(std::move(data)),
+      topology_(std::move(topology)),
+      config_(std::move(cfg)) {}
+
+FlowEngine& FlowEngine::set_checkpoint_dir(std::string dir) {
+  checkpoint_dir_ = std::move(dir);
+  checkpoint_ready_ = false;
+  return *this;
+}
+
+FlowEngine& FlowEngine::set_progress(StageCallback cb) {
+  progress_ = std::move(cb);
+  return *this;
+}
+
+FlowEngine& FlowEngine::provide_split(SplitArtifacts split) {
+  split_ = std::move(split);
+  report(FlowStage::kSplit, 0.0, /*reused=*/true,
+         static_cast<long>(split_->train.size() + split_->test.size()));
+  return *this;
+}
+
+FlowEngine& FlowEngine::provide_float_net(mlp::FloatMlp net) {
+  float_net_ = std::move(net);
+  report(FlowStage::kBackprop, 0.0, /*reused=*/true, 0);
+  return *this;
+}
+
+FlowEngine& FlowEngine::provide_baseline(BaselinePricing pricing) {
+  pricing_ = std::move(pricing);
+  report(FlowStage::kBaseline, 0.0, /*reused=*/true,
+         pricing_->cost.cell_count);
+  return *this;
+}
+
+FlowEngine& FlowEngine::provide_training(TrainingResult training) {
+  training_ = std::move(training);
+  report(FlowStage::kGa, 0.0, /*reused=*/true, training_->evaluations);
+  return *this;
+}
+
+std::string FlowEngine::path(const char* file) const {
+  return (fs::path(checkpoint_dir_) / file).string();
+}
+
+std::uint64_t FlowEngine::config_fingerprint() const {
+  // Everything that changes results. The bit-identical knobs —
+  // trainer.n_threads / ga.n_threads / hardware.n_threads and
+  // problem.eval_cache_capacity — are deliberately excluded so a
+  // checkpoint can be resumed with different parallelism.
+  Fnv1a h;
+  h.u64(topology_.layers.size());
+  for (int n : topology_.layers) h.i64(n);
+  const FlowConfig& c = config_;
+  h.f64(c.train_fraction);
+  h.u64(c.split_seed);
+  const auto& bp = c.backprop;
+  h.i64(bp.epochs);
+  h.i64(bp.batch_size);
+  h.f64(bp.learning_rate);
+  h.f64(bp.momentum);
+  h.f64(bp.lr_decay);
+  h.f64(bp.l2);
+  h.f64(bp.relu_leak);
+  h.i64(bp.restarts);
+  h.u64(bp.seed);
+  const auto& b = c.trainer.bits;
+  h.i64(b.weight_bits);
+  h.i64(b.input_bits);
+  h.i64(b.act_bits);
+  h.i64(b.bias_bits);
+  const auto& ga = c.trainer.ga;
+  h.i64(ga.population);
+  h.i64(ga.generations);
+  h.f64(ga.crossover_prob);
+  h.f64(ga.mutation_prob);
+  h.f64(ga.per_gene_rate);
+  h.f64(ga.creep_fraction);
+  h.i64(ga.creep_step);
+  h.i64(static_cast<int>(ga.crossover));
+  h.u64(ga.seed);
+  const auto& p = c.trainer.problem;
+  h.f64(p.max_accuracy_loss);
+  h.f64(p.doping_fraction);
+  h.u64(p.doping_seed);
+  h.i64(p.domain_mutation ? 1 : 0);
+  h.i64(p.coarse_pruning ? 1 : 0);
+  h.i64(c.refine ? 1 : 0);
+  h.f64(c.refine_max_point_loss);
+  h.f64(c.report_max_loss);
+  h.i64(c.hardware.equivalence_samples);
+  return h.state;
+}
+
+void FlowEngine::ensure_checkpoint() {
+  if (checkpoint_dir_.empty() || checkpoint_ready_) return;
+  fs::create_directories(checkpoint_dir_);
+  const std::uint64_t digest = dataset_digest(data_);
+  const std::uint64_t config = config_fingerprint();
+  const std::string meta_path = path(kMetaFile);
+  if (fs::exists(meta_path)) {
+    auto is = open_artifact(meta_path);
+    std::string magic, version, tag, name;
+    std::uint64_t got_digest = 0, got_config = 0;
+    bool ok = static_cast<bool>(is >> magic >> version) &&
+              magic == "pmlp-flow-meta" && version == "v1" &&
+              static_cast<bool>(is >> tag) && tag == "dataset";
+    // The dataset name is the rest of the line (it may contain spaces).
+    if (ok) {
+      is >> std::ws;
+      ok = static_cast<bool>(std::getline(is, name));
+    }
+    ok = ok && static_cast<bool>(is >> tag >> got_digest) &&
+         tag == "digest" && static_cast<bool>(is >> tag >> got_config) &&
+         tag == "config";
+    if (!ok) {
+      throw std::invalid_argument("FlowEngine: malformed checkpoint meta " +
+                                  meta_path);
+    }
+    if (got_digest != digest || got_config != config) {
+      throw std::runtime_error(
+          "FlowEngine: checkpoint " + checkpoint_dir_ +
+          " was created for a different dataset or flow config (delete the "
+          "directory to start over)");
+    }
+  } else {
+    write_artifact(meta_path, [&](std::ostream& os) {
+      os << "pmlp-flow-meta v1\n";
+      os << "dataset " << (data_.name.empty() ? "-" : data_.name) << '\n';
+      os << "digest " << digest << '\n';
+      os << "config " << config << '\n';
+      os << "end\n";
+    });
+  }
+  checkpoint_ready_ = true;
+}
+
+void FlowEngine::report(FlowStage stage, double wall_seconds, bool reused,
+                        long items) {
+  StageReport r;
+  r.stage = stage;
+  r.wall_seconds = wall_seconds;
+  r.reused = reused;
+  r.items = items;
+  stages_.push_back(r);
+  if (progress_) progress_(r);
+}
+
+// ------------------------------------------------------------------ stages
+
+void FlowEngine::stage_split() {
+  if (split_) return;
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("train_raw.ds")) && fs::exists(path("test_raw.ds")) &&
+      fs::exists(path("train.qds")) && fs::exists(path("test.qds"))) {
+    SplitArtifacts s;
+    {
+      auto is = open_artifact(path("train_raw.ds"));
+      s.train_raw = load_dataset(is);
+    }
+    {
+      auto is = open_artifact(path("test_raw.ds"));
+      s.test_raw = load_dataset(is);
+    }
+    {
+      auto is = open_artifact(path("train.qds"));
+      s.train = load_quant_dataset(is);
+    }
+    {
+      auto is = open_artifact(path("test.qds"));
+      s.test = load_quant_dataset(is);
+    }
+    split_ = std::move(s);
+    report(FlowStage::kSplit, seconds_since(t0), /*reused=*/true,
+           static_cast<long>(split_->train.size() + split_->test.size()));
+    return;
+  }
+
+  auto halves = datasets::stratified_split(data_, config_.train_fraction,
+                                           config_.split_seed);
+  SplitArtifacts s;
+  s.train = datasets::quantize_inputs(halves.train,
+                                      config_.trainer.bits.input_bits);
+  s.test =
+      datasets::quantize_inputs(halves.test, config_.trainer.bits.input_bits);
+  s.train_raw = std::move(halves.train);
+  s.test_raw = std::move(halves.test);
+  split_ = std::move(s);
+
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("train_raw.ds"), [&](std::ostream& os) {
+      save_dataset(split_->train_raw, os);
+    });
+    write_artifact(path("test_raw.ds"), [&](std::ostream& os) {
+      save_dataset(split_->test_raw, os);
+    });
+    write_artifact(path("train.qds"), [&](std::ostream& os) {
+      save_quant_dataset(split_->train, os);
+    });
+    write_artifact(path("test.qds"), [&](std::ostream& os) {
+      save_quant_dataset(split_->test, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kSplit, seconds_since(t0), /*reused=*/false,
+         static_cast<long>(split_->train.size() + split_->test.size()));
+}
+
+void FlowEngine::stage_backprop() {
+  if (float_net_) return;
+  stage_split();
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("float_net.txt"))) {
+    auto is = open_artifact(path("float_net.txt"));
+    float_net_ = load_float_mlp(is);
+    report(FlowStage::kBackprop, seconds_since(t0), /*reused=*/true,
+           config_.backprop.epochs);
+    return;
+  }
+
+  float_net_ =
+      mlp::train_float_mlp(topology_, split_->train_raw, config_.backprop);
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("float_net.txt"), [&](std::ostream& os) {
+      save_float_mlp(*float_net_, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kBackprop, seconds_since(t0), /*reused=*/false,
+         config_.backprop.epochs);
+}
+
+void FlowEngine::stage_baseline() {
+  if (pricing_) return;
+  stage_backprop();
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("baseline.txt"))) {
+    auto is = open_artifact(path("baseline.txt"));
+    pricing_ = load_baseline_pricing(is);
+    report(FlowStage::kBaseline, seconds_since(t0), /*reused=*/true,
+           pricing_->cost.cell_count);
+    return;
+  }
+
+  BaselinePricing p;
+  p.net = mlp::QuantMlp::from_float(
+      *float_net_, config_.trainer.bits.weight_bits,
+      config_.trainer.bits.input_bits, config_.trainer.bits.act_bits);
+  p.train_accuracy = mlp::accuracy(p.net, split_->train);
+  p.test_accuracy = mlp::accuracy(p.net, split_->test);
+  const auto circuit = netlist::build_bespoke_mlp(
+      netlist::to_bespoke_desc(p.net, split_->train_raw.name + "_exact"));
+  p.cost = netlist::optimize(circuit.nl).cost(hwmodel::CellLibrary::egfet_1v());
+  pricing_ = std::move(p);
+
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("baseline.txt"), [&](std::ostream& os) {
+      save_baseline_pricing(*pricing_, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kBaseline, seconds_since(t0), /*reused=*/false,
+         pricing_->cost.cell_count);
+}
+
+void FlowEngine::stage_ga() {
+  if (training_) return;
+  stage_baseline();
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("ga_front.txt"))) {
+    auto is = open_artifact(path("ga_front.txt"));
+    training_ = load_training_result(is);
+    report(FlowStage::kGa, seconds_since(t0), /*reused=*/true,
+           training_->evaluations);
+    return;
+  }
+
+  training_ = train_ga_axc(topology_, split_->train, pricing_->net,
+                           config_.trainer);
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("ga_front.txt"), [&](std::ostream& os) {
+      save_training_result(*training_, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kGa, seconds_since(t0), /*reused=*/false,
+         training_->evaluations);
+}
+
+void FlowEngine::stage_refine() {
+  if (refined_ || !config_.refine) return;
+  stage_ga();
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("refined_front.txt"))) {
+    auto is = open_artifact(path("refined_front.txt"));
+    training_ = load_training_result(is);
+    refined_ = true;
+    report(FlowStage::kRefine, seconds_since(t0), /*reused=*/true,
+           static_cast<long>(training_->estimated_pareto.size()));
+    return;
+  }
+
+  refine_front(training_->estimated_pareto, split_->train,
+               pricing_->train_accuracy, config_.refine_max_point_loss,
+               config_.trainer.problem.max_accuracy_loss);
+  refined_ = true;
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("refined_front.txt"), [&](std::ostream& os) {
+      save_training_result(*training_, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kRefine, seconds_since(t0), /*reused=*/false,
+         static_cast<long>(training_->estimated_pareto.size()));
+}
+
+void FlowEngine::stage_hardware() {
+  if (evaluated_) return;
+  stage_refine();
+  stage_ga();  // refine may be disabled
+  ensure_checkpoint();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
+      fs::exists(path("evaluated.txt"))) {
+    auto is = open_artifact(path("evaluated.txt"));
+    evaluated_ = load_evaluated_points(is);
+    report(FlowStage::kHardware, seconds_since(t0), /*reused=*/true,
+           static_cast<long>(evaluated_->size()));
+    return;
+  }
+
+  // The flow-wide parallelism knob drives the hardware fan-out too.
+  HardwareAnalysisConfig hw_cfg = config_.hardware;
+  hw_cfg.n_threads = config_.trainer.n_threads;
+  evaluated_ =
+      evaluate_hardware(training_->estimated_pareto, split_->test,
+                        hwmodel::CellLibrary::egfet_1v(), hw_cfg);
+  if (!checkpoint_dir_.empty()) {
+    write_artifact(path("evaluated.txt"), [&](std::ostream& os) {
+      save_evaluated_points(*evaluated_, os);
+    });
+  }
+  upstream_recomputed_ = true;
+  report(FlowStage::kHardware, seconds_since(t0), /*reused=*/false,
+         static_cast<long>(evaluated_->size()));
+}
+
+void FlowEngine::stage_select() {
+  if (selection_) return;
+  stage_hardware();
+  const auto t0 = std::chrono::steady_clock::now();
+  Selection sel;
+  sel.front = true_pareto(*evaluated_);
+  sel.best = best_within_loss(*evaluated_, pricing_->test_accuracy,
+                              config_.report_max_loss);
+  if (sel.best) {
+    sel.area_reduction = pricing_->cost.area_mm2 / sel.best->cost.area_mm2;
+    sel.power_reduction = pricing_->cost.power_uw / sel.best->cost.power_uw;
+  }
+  selection_ = std::move(sel);
+  report(FlowStage::kSelect, seconds_since(t0), /*reused=*/false,
+         static_cast<long>(selection_->front.size()));
+}
+
+// ------------------------------------------------------------------ facade
+
+const SplitArtifacts& FlowEngine::split() {
+  stage_split();
+  return *split_;
+}
+
+const mlp::FloatMlp& FlowEngine::float_net() {
+  stage_backprop();
+  return *float_net_;
+}
+
+const BaselinePricing& FlowEngine::baseline() {
+  stage_baseline();
+  return *pricing_;
+}
+
+BaselineArtifacts FlowEngine::assemble_baseline(bool move_out) {
+  stage_baseline();
+  BaselineArtifacts out;
+  if (move_out) {
+    out.train_raw = std::move(split_->train_raw);
+    out.test_raw = std::move(split_->test_raw);
+    out.train = std::move(split_->train);
+    out.test = std::move(split_->test);
+    out.float_net = std::move(*float_net_);
+    out.baseline = std::move(pricing_->net);
+  } else {
+    out.train_raw = split_->train_raw;
+    out.test_raw = split_->test_raw;
+    out.train = split_->train;
+    out.test = split_->test;
+    out.float_net = *float_net_;
+    out.baseline = pricing_->net;
+  }
+  out.baseline_cost = pricing_->cost;
+  out.baseline_train_accuracy = pricing_->train_accuracy;
+  out.baseline_test_accuracy = pricing_->test_accuracy;
+  return out;
+}
+
+BaselineArtifacts FlowEngine::baseline_artifacts() & {
+  return assemble_baseline(/*move_out=*/false);
+}
+
+BaselineArtifacts FlowEngine::baseline_artifacts() && {
+  return assemble_baseline(/*move_out=*/true);
+}
+
+FlowResult FlowEngine::assemble(bool move_out) {
+  stage_select();
+  FlowResult result;
+  if (move_out) {
+    // The engine is a throwaway (rvalue): hand the artifacts over instead
+    // of deep-copying datasets and models. The engine must not run again.
+    result.training = std::move(*training_);
+    result.evaluated = std::move(*evaluated_);
+    result.front = std::move(selection_->front);
+    result.best = std::move(selection_->best);
+  } else {
+    result.training = *training_;
+    result.evaluated = *evaluated_;
+    result.front = selection_->front;
+    result.best = selection_->best;
+  }
+  // assemble_baseline last: the select stage above reads pricing_.
+  result.baseline = assemble_baseline(move_out);
+  result.area_reduction = selection_->area_reduction;
+  result.power_reduction = selection_->power_reduction;
+  result.stages = stages_;
+  return result;
+}
+
+FlowResult FlowEngine::run() & { return assemble(/*move_out=*/false); }
+
+FlowResult FlowEngine::run() && { return assemble(/*move_out=*/true); }
+
+// -------------------------------------------------------------- JSON report
+
+namespace {
+
+void json_escape(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_point(const HwEvaluatedPoint& p, std::ostream& os) {
+  os << "{\"test_accuracy\":" << p.test_accuracy
+     << ",\"fa_area\":" << p.fa_area
+     << ",\"area_mm2\":" << p.cost.area_mm2
+     << ",\"power_uw\":" << p.cost.power_uw
+     << ",\"delay_us\":" << p.cost.critical_delay_us
+     << ",\"cell_count\":" << p.cost.cell_count << ",\"functional_match\":"
+     << (p.functional_match ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+void write_flow_report_json(const FlowResult& result,
+                            const std::string& dataset_name,
+                            const mlp::Topology& topology, std::ostream& os) {
+  std::ostringstream body;
+  body.precision(17);
+  body << "{\"dataset\":";
+  json_escape(dataset_name, body);
+  body << ",\"topology\":[";
+  for (std::size_t i = 0; i < topology.layers.size(); ++i) {
+    body << (i ? "," : "") << topology.layers[i];
+  }
+  body << "],\"stages\":[";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const auto& s = result.stages[i];
+    body << (i ? "," : "") << "{\"stage\":\"" << flow_stage_name(s.stage)
+         << "\",\"wall_seconds\":" << s.wall_seconds
+         << ",\"reused\":" << (s.reused ? "true" : "false")
+         << ",\"items\":" << s.items << "}";
+  }
+  body << "],\"baseline\":{\"train_accuracy\":"
+       << result.baseline.baseline_train_accuracy
+       << ",\"test_accuracy\":" << result.baseline.baseline_test_accuracy
+       << ",\"area_mm2\":" << result.baseline.baseline_cost.area_mm2
+       << ",\"power_uw\":" << result.baseline.baseline_cost.power_uw
+       << ",\"cell_count\":" << result.baseline.baseline_cost.cell_count
+       << "}";
+  body << ",\"training\":{\"evaluations\":" << result.training.evaluations
+       << ",\"wall_seconds\":" << result.training.wall_seconds
+       << ",\"evals_per_second\":" << result.training.evals_per_second
+       << ",\"cache_hits\":" << result.training.cache_hits
+       << ",\"cache_hit_rate\":" << result.training.cache_hit_rate
+       << ",\"front_size\":" << result.training.estimated_pareto.size()
+       << "}";
+  body << ",\"evaluated\":[";
+  for (std::size_t i = 0; i < result.evaluated.size(); ++i) {
+    if (i) body << ",";
+    json_point(result.evaluated[i], body);
+  }
+  body << "],\"front\":[";
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    if (i) body << ",";
+    json_point(result.front[i], body);
+  }
+  body << "],\"best\":";
+  if (result.best) {
+    json_point(*result.best, body);
+  } else {
+    body << "null";
+  }
+  body << ",\"area_reduction\":" << result.area_reduction
+       << ",\"power_reduction\":" << result.power_reduction << "}";
+  os << body.str() << '\n';
+}
+
+}  // namespace pmlp::core

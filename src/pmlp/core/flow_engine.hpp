@@ -1,0 +1,150 @@
+// Staged FlowEngine: the Fig. 2 pipeline decomposed into named stages
+// (split/quantize -> backprop -> baseline pricing -> GA-AxC -> refine ->
+// hardware analysis -> selection) with typed input/output artifacts,
+// per-stage wall-time counters, an optional progress callback, and
+// checkpoint/resume through the versioned artifact formats of
+// serialize.hpp.
+//
+// Checkpointing: point the engine at a directory and every completed stage
+// persists its artifact; a later engine constructed with the same dataset
+// and config resumes from whatever is on disk and reproduces the original
+// FlowResult bit-identically (all artifacts round-trip exactly; doubles are
+// stored as hexfloats). The directory holds:
+//
+//   meta.txt            dataset digest + config fingerprint guard
+//   train_raw.ds        pmlp-dataset v1        (split stage)
+//   test_raw.ds         pmlp-dataset v1
+//   train.qds           pmlp-quant-dataset v1
+//   test.qds            pmlp-quant-dataset v1
+//   float_net.txt       pmlp-float-mlp v1      (backprop stage)
+//   baseline.txt        pmlp-baseline v1       (baseline stage)
+//   ga_front.txt        pmlp-training v1       (GA stage)
+//   refined_front.txt   pmlp-training v1       (refine stage)
+//   evaluated.txt       pmlp-evaluated v1      (hardware stage)
+//
+// The fingerprint covers everything that changes results; the bit-identical
+// knobs (thread counts, eval-cache capacity) are excluded, so a run may be
+// resumed with a different parallelism setting. If a stage has to be
+// recomputed (its artifact is missing), every downstream stage is also
+// recomputed and its artifact overwritten, so a checkpoint directory is
+// always a consistent set. The selection stage is derived (cheap) and never
+// checkpointed.
+//
+// Benches that already hold a trained baseline can inject artifacts with
+// the provide_*() calls; injected stages are reported as reused and are not
+// written to the checkpoint.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pmlp/core/flow.hpp"
+
+namespace pmlp::core {
+
+// The stage artifact types (SplitArtifacts, BaselinePricing) live in
+// flow.hpp next to BaselineArtifacts; their serializers in serialize.hpp.
+
+/// Called right after each stage completes (or reloads from checkpoint).
+using StageCallback = std::function<void(const StageReport&)>;
+
+class FlowEngine {
+ public:
+  /// `data` must be normalized ([0,1] features). It may be empty when the
+  /// split artifacts are injected with provide_split().
+  FlowEngine(datasets::Dataset data, mlp::Topology topology, FlowConfig cfg);
+
+  /// Enable checkpointing under `dir` (created on first use). Throws
+  /// std::runtime_error from the next stage run if the directory holds a
+  /// checkpoint for a different dataset or config.
+  FlowEngine& set_checkpoint_dir(std::string dir);
+  FlowEngine& set_progress(StageCallback cb);
+
+  // Artifact injection (benches reuse one trained baseline across many GA
+  // runs). Must be called before the corresponding stage executes.
+  FlowEngine& provide_split(SplitArtifacts split);
+  FlowEngine& provide_float_net(mlp::FloatMlp net);
+  FlowEngine& provide_baseline(BaselinePricing pricing);
+  FlowEngine& provide_training(TrainingResult training);
+
+  // Lazy stage access: each accessor runs (or checkpoint-loads) the
+  // pipeline up to the stage producing the artifact.
+  const SplitArtifacts& split();
+  const mlp::FloatMlp& float_net();
+  const BaselinePricing& baseline();
+  /// Assembled copy of the first three stages' outputs (compat with the
+  /// original build_baseline()). The rvalue overload moves the artifacts
+  /// out instead of copying (for throwaway engines); the engine must not
+  /// be used afterwards.
+  [[nodiscard]] BaselineArtifacts baseline_artifacts() &;
+  [[nodiscard]] BaselineArtifacts baseline_artifacts() &&;
+
+  /// Run every remaining stage and assemble the FlowResult (including the
+  /// per-stage reports). The engine keeps its artifacts, so repeated calls
+  /// return the same result without recomputing. The rvalue overload moves
+  /// the artifacts into the result instead of deep-copying them (use
+  /// `std::move(engine).run()` when the engine is done after).
+  FlowResult run() &;
+  FlowResult run() &&;
+
+  /// Reports of every stage executed so far, in execution order.
+  [[nodiscard]] const std::vector<StageReport>& stages() const {
+    return stages_;
+  }
+
+  [[nodiscard]] const mlp::Topology& topology() const { return topology_; }
+  [[nodiscard]] const FlowConfig& config() const { return config_; }
+
+ private:
+  struct Selection {
+    std::vector<HwEvaluatedPoint> front;
+    std::optional<HwEvaluatedPoint> best;
+    double area_reduction = 0.0;
+    double power_reduction = 0.0;
+  };
+
+  void ensure_checkpoint();
+  [[nodiscard]] BaselineArtifacts assemble_baseline(bool move_out);
+  [[nodiscard]] FlowResult assemble(bool move_out);
+  [[nodiscard]] std::string path(const char* file) const;
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+  void report(FlowStage stage, double wall_seconds, bool reused, long items);
+
+  void stage_split();
+  void stage_backprop();
+  void stage_baseline();
+  void stage_ga();
+  void stage_refine();
+  void stage_hardware();
+  void stage_select();
+
+  datasets::Dataset data_;
+  mlp::Topology topology_;
+  FlowConfig config_;
+  std::string checkpoint_dir_;  ///< empty = checkpointing off
+  StageCallback progress_;
+
+  bool checkpoint_ready_ = false;
+  /// Once any stage recomputes, downstream artifacts on disk are stale:
+  /// stop loading and overwrite them instead.
+  bool upstream_recomputed_ = false;
+
+  std::optional<SplitArtifacts> split_;
+  std::optional<mlp::FloatMlp> float_net_;
+  std::optional<BaselinePricing> pricing_;
+  std::optional<TrainingResult> training_;
+  bool refined_ = false;
+  std::optional<std::vector<HwEvaluatedPoint>> evaluated_;
+  std::optional<Selection> selection_;
+
+  std::vector<StageReport> stages_;
+};
+
+/// Machine-readable FlowResult report (stages, baseline, counters, every
+/// evaluated/front point, the Table II pick): one JSON object.
+void write_flow_report_json(const FlowResult& result,
+                            const std::string& dataset_name,
+                            const mlp::Topology& topology, std::ostream& os);
+
+}  // namespace pmlp::core

@@ -3,48 +3,75 @@
 #include <algorithm>
 
 #include "pmlp/core/pareto.hpp"
+#include "pmlp/core/thread_pool.hpp"
 #include "pmlp/netlist/builders.hpp"
 #include "pmlp/netlist/opt.hpp"
 
 namespace pmlp::core {
 
+namespace {
+
+/// Build/price/verify one candidate — pure function of its inputs, so the
+/// parallel fan-out below is bit-identical to the serial loop.
+HwEvaluatedPoint evaluate_candidate(const EstimatedPoint& cand,
+                                    const datasets::QuantizedDataset& test,
+                                    const hwmodel::CellLibrary& lib,
+                                    const HardwareAnalysisConfig& cfg) {
+  HwEvaluatedPoint p;
+  p.model = cand.model;
+  p.fa_area = cand.fa_area;
+
+  const auto circuit =
+      netlist::build_bespoke_mlp(cand.model.to_bespoke_desc("candidate"));
+  // Price the synthesis-cleaned netlist (what a real tool would ship);
+  // functional verification below runs on the as-built circuit.
+  p.cost = netlist::optimize(circuit.nl).cost(lib);
+
+  std::size_t n_check = test.size();
+  if (cfg.equivalence_samples == 0) {
+    n_check = 0;
+  } else if (cfg.equivalence_samples > 0) {
+    n_check = std::min<std::size_t>(
+        n_check, static_cast<std::size_t>(cfg.equivalence_samples));
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const int model_pred = cand.model.predict(test.row(i));
+    if (i < n_check && circuit.predict(test.row(i)) != model_pred) {
+      p.functional_match = false;
+    }
+    if (model_pred == test.labels[i]) ++correct;
+  }
+  p.test_accuracy = test.size() == 0 ? 0.0
+                                     : static_cast<double>(correct) /
+                                           static_cast<double>(test.size());
+  return p;
+}
+
+}  // namespace
+
 std::vector<HwEvaluatedPoint> evaluate_hardware(
     std::span<const EstimatedPoint> candidates,
     const datasets::QuantizedDataset& test, const hwmodel::CellLibrary& lib,
     const HardwareAnalysisConfig& cfg) {
-  std::vector<HwEvaluatedPoint> out;
-  out.reserve(candidates.size());
-  for (const auto& cand : candidates) {
-    HwEvaluatedPoint p;
-    p.model = cand.model;
-    p.fa_area = cand.fa_area;
-
-    const auto circuit =
-        netlist::build_bespoke_mlp(cand.model.to_bespoke_desc("candidate"));
-    // Price the synthesis-cleaned netlist (what a real tool would ship);
-    // functional verification below runs on the as-built circuit.
-    p.cost = netlist::optimize(circuit.nl).cost(lib);
-
-    std::size_t n_check = test.size();
-    if (cfg.equivalence_samples == 0) {
-      n_check = 0;
-    } else if (cfg.equivalence_samples > 0) {
-      n_check = std::min<std::size_t>(
-          n_check, static_cast<std::size_t>(cfg.equivalence_samples));
+  std::vector<HwEvaluatedPoint> out(candidates.size());
+  const int n_threads = std::min<int>(resolve_n_threads(cfg.n_threads),
+                                      static_cast<int>(candidates.size()));
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = evaluate_candidate(candidates[i], test, lib, cfg);
     }
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      const int model_pred = cand.model.predict(test.row(i));
-      if (i < n_check && circuit.predict(test.row(i)) != model_pred) {
-        p.functional_match = false;
-      }
-      if (model_pred == test.labels[i]) ++correct;
-    }
-    p.test_accuracy = test.size() == 0
-                          ? 0.0
-                          : static_cast<double>(correct) /
-                                static_cast<double>(test.size());
-    out.push_back(std::move(p));
+  } else {
+    // Each worker fills its own static chunk of the output, so the result
+    // vector is index-addressed and independent of scheduling.
+    ThreadPool pool(n_threads);
+    pool.parallel_for(candidates.size(),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          out[i] = evaluate_candidate(candidates[i], test,
+                                                      lib, cfg);
+                        }
+                      });
   }
   return out;
 }

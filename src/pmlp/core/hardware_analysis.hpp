@@ -26,6 +26,12 @@ struct HardwareAnalysisConfig {
   /// Samples cross-checked between netlist and behavioural model
   /// (0 disables the equivalence check; negative checks the whole set).
   int equivalence_samples = 64;
+  /// Parallel candidate evaluation (netlist build + EGFET pricing +
+  /// equivalence check fan out over a worker pool): 1 = serial (the
+  /// default for direct calls), 0 = all hardware threads, N = N workers.
+  /// Output order and every result are bit-identical for any setting; the
+  /// FlowEngine overrides this with the flow-wide TrainerConfig::n_threads.
+  int n_threads = 1;
 };
 
 /// Build/price/verify every candidate at the given supply library.

@@ -108,4 +108,18 @@ RefineReport refine_greedy(ApproxMlp& net,
   return report;
 }
 
+void refine_front(std::span<EstimatedPoint> front,
+                  const datasets::QuantizedDataset& train,
+                  double baseline_train_accuracy, double max_point_loss,
+                  double max_total_loss) {
+  for (auto& point : front) {
+    RefineConfig cfg;
+    cfg.accuracy_floor = std::max(point.train_accuracy - max_point_loss,
+                                  baseline_train_accuracy - max_total_loss);
+    (void)refine_greedy(point.model, train, cfg);
+    point.train_accuracy = accuracy(point.model, train);
+    point.fa_area = point.model.fa_area();
+  }
+}
+
 }  // namespace pmlp::core

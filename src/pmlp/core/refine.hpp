@@ -6,6 +6,7 @@
 #pragma once
 
 #include "pmlp/core/approx_mlp.hpp"
+#include "pmlp/core/trainer.hpp"
 #include "pmlp/datasets/dataset.hpp"
 
 namespace pmlp::core {
@@ -33,5 +34,15 @@ struct RefineReport {
 RefineReport refine_greedy(ApproxMlp& net,
                            const datasets::QuantizedDataset& train,
                            const RefineConfig& cfg);
+
+/// The flow's post-GA refinement stage (shared by FlowEngine and the
+/// benches): greedily refine every estimated-Pareto point in place and
+/// refresh its train_accuracy / fa_area. Each point's accuracy floor is
+///   max(point accuracy - max_point_loss,
+///       baseline_train_accuracy - max_total_loss).
+void refine_front(std::span<EstimatedPoint> front,
+                  const datasets::QuantizedDataset& train,
+                  double baseline_train_accuracy, double max_point_loss,
+                  double max_total_loss);
 
 }  // namespace pmlp::core

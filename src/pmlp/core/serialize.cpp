@@ -1,6 +1,11 @@
 #include "pmlp/core/serialize.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,45 +16,75 @@ namespace pmlp::core {
 namespace {
 constexpr const char* kMagic = "pmlp-approx-mlp";
 constexpr const char* kVersion = "v1";
-}  // namespace
 
-void save_model(const ApproxMlp& net, std::ostream& os) {
-  os << kMagic << ' ' << kVersion << '\n';
-  os << "topology";
-  for (int n : net.topology().layers) os << ' ' << n;
+// ---------------------------------------------------------------- helpers
+
+void expect_header(std::istream& is, const char* magic, const char* what) {
+  std::string m, version;
+  if (!(is >> m >> version) || m != magic || version != "v1") {
+    throw std::invalid_argument(std::string(what) + ": bad header");
+  }
+}
+
+void expect_tag(std::istream& is, const char* tag, const char* what) {
+  std::string t;
+  if (!(is >> t) || t != tag) {
+    throw std::invalid_argument(std::string(what) + ": expected '" + tag +
+                                "'" + (t.empty() ? "" : ", got '" + t + "'"));
+  }
+}
+
+void check_stream(const std::ostream& os, const char* what) {
+  if (!os) throw std::runtime_error(std::string(what) + ": stream failure");
+}
+
+mlp::Topology read_topology(std::istream& is, const char* what) {
+  expect_tag(is, "topology", what);
+  mlp::Topology topo;
+  int n_layers = 0;
+  if (!(is >> n_layers) || n_layers < 2 || n_layers > 64) {
+    throw std::invalid_argument(std::string(what) + ": bad topology size");
+  }
+  for (int i = 0; i < n_layers; ++i) {
+    int width = 0;
+    if (!(is >> width) || width < 1 || width > 1 << 20) {
+      throw std::invalid_argument(std::string(what) + ": bad topology entry");
+    }
+    topo.layers.push_back(width);
+  }
+  return topo;
+}
+
+void write_topology(std::ostream& os, const mlp::Topology& topo) {
+  os << "topology " << topo.layers.size();
+  for (int n : topo.layers) os << ' ' << n;
   os << '\n';
-  const auto& b = net.bits();
-  os << "bits " << b.weight_bits << ' ' << b.input_bits << ' ' << b.act_bits
-     << ' ' << b.bias_bits << '\n';
-  for (std::size_t l = 0; l < net.layers().size(); ++l) {
-    const auto& layer = net.layers()[l];
-    os << "layer " << l << '\n';
-    for (int o = 0; o < layer.n_out; ++o) {
-      for (int i = 0; i < layer.n_in; ++i) {
-        const ApproxConn& c = layer.conn(o, i);
-        os << "conn " << o << ' ' << i << ' ' << c.mask << ' '
-           << (c.sign < 0 ? -1 : 1) << ' ' << c.exponent << '\n';
-      }
-    }
-    for (int o = 0; o < layer.n_out; ++o) {
-      os << "bias " << o << ' ' << layer.biases[static_cast<std::size_t>(o)]
-         << '\n';
-    }
-  }
-  if (!os) throw std::runtime_error("save_model: stream failure");
 }
 
-std::string to_text(const ApproxMlp& net) {
-  std::ostringstream os;
-  save_model(net, os);
-  return os.str();
+void write_name_line(std::ostream& os, const std::string& name) {
+  os << "name " << (name.empty() ? "-" : name) << '\n';
 }
 
-ApproxMlp load_model(std::istream& is) {
-  std::string magic, version;
-  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
-    throw std::invalid_argument("load_model: bad header");
+/// Names may contain spaces (UCI file stems), so the value is the rest of
+/// the line, not a single token.
+std::string read_name_line(std::istream& is, const char* what) {
+  expect_tag(is, "name", what);
+  is >> std::ws;
+  std::string name;
+  if (!std::getline(is, name) || name.empty()) {
+    throw std::invalid_argument(std::string(what) + ": missing name");
   }
+  while (!name.empty() && (name.back() == '\r' || name.back() == ' ')) {
+    name.pop_back();
+  }
+  if (name == "-") name.clear();
+  return name;
+}
+
+/// Parse the body of an approx-mlp block (everything after the header).
+/// In embedded mode the block must be terminated by an `endmodel` line;
+/// standalone blocks run to EOF (the original v1 file format).
+ApproxMlp parse_model_body(std::istream& is, bool embedded) {
   std::string tag;
   if (!(is >> tag) || tag != "topology") {
     throw std::invalid_argument("load_model: expected topology");
@@ -81,7 +116,12 @@ ApproxMlp load_model(std::istream& is) {
 
   ApproxMlp net(topo, bits);
   int current_layer = -1;
+  bool terminated = false;
   while (is >> tag) {
+    if (embedded && tag == "endmodel") {
+      terminated = true;
+      break;
+    }
     if (tag == "layer") {
       if (!(is >> current_layer) || current_layer < 0 ||
           current_layer >= static_cast<int>(net.layers().size())) {
@@ -120,8 +160,73 @@ ApproxMlp load_model(std::istream& is) {
       throw std::invalid_argument("load_model: unknown tag " + tag);
     }
   }
+  if (embedded && !terminated) {
+    throw std::invalid_argument("load_model: unterminated embedded model");
+  }
   net.update_qrelu_shifts();
   return net;
+}
+
+ApproxMlp parse_model(std::istream& is, bool embedded) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::invalid_argument("load_model: bad header");
+  }
+  return parse_model_body(is, embedded);
+}
+
+/// Write one approx-mlp block (header + body, no terminator).
+void write_model_block(const ApproxMlp& net, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "topology";
+  for (int n : net.topology().layers) os << ' ' << n;
+  os << '\n';
+  const auto& b = net.bits();
+  os << "bits " << b.weight_bits << ' ' << b.input_bits << ' ' << b.act_bits
+     << ' ' << b.bias_bits << '\n';
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    os << "layer " << l << '\n';
+    for (int o = 0; o < layer.n_out; ++o) {
+      for (int i = 0; i < layer.n_in; ++i) {
+        const ApproxConn& c = layer.conn(o, i);
+        os << "conn " << o << ' ' << i << ' ' << c.mask << ' '
+           << (c.sign < 0 ? -1 : 1) << ' ' << c.exponent << '\n';
+      }
+    }
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "bias " << o << ' ' << layer.biases[static_cast<std::size_t>(o)]
+         << '\n';
+    }
+  }
+}
+
+void write_model_embedded(const ApproxMlp& net, std::ostream& os) {
+  os << "model\n";
+  write_model_block(net, os);
+  os << "endmodel\n";
+}
+
+ApproxMlp read_model_embedded(std::istream& is, const char* what) {
+  expect_tag(is, "model", what);
+  return parse_model(is, /*embedded=*/true);
+}
+
+}  // namespace
+
+void save_model(const ApproxMlp& net, std::ostream& os) {
+  write_model_block(net, os);
+  check_stream(os, "save_model");
+}
+
+std::string to_text(const ApproxMlp& net) {
+  std::ostringstream os;
+  save_model(net, os);
+  return os.str();
+}
+
+ApproxMlp load_model(std::istream& is) {
+  return parse_model(is, /*embedded=*/false);
 }
 
 ApproxMlp from_text(const std::string& text) {
@@ -139,6 +244,535 @@ ApproxMlp load_model_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
   return load_model(is);
+}
+
+// ---------------------------------------------------------------- datasets
+
+void save_dataset(const datasets::Dataset& d, std::ostream& os) {
+  os << "pmlp-dataset v1\n";
+  write_name_line(os, d.name);
+  os << "shape " << d.n_features << ' ' << d.n_classes << ' ' << d.size()
+     << '\n';
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    os << "row " << d.labels[i];
+    for (double v : d.row(i)) {
+      os << ' ';
+      write_hexdouble(os, v);
+    }
+    os << '\n';
+  }
+  os << "end\n";
+  check_stream(os, "save_dataset");
+}
+
+datasets::Dataset load_dataset(std::istream& is) {
+  expect_header(is, "pmlp-dataset", "load_dataset");
+  datasets::Dataset d;
+  d.name = read_name_line(is, "load_dataset");
+  expect_tag(is, "shape", "load_dataset");
+  std::size_t n_samples = 0;
+  if (!(is >> d.n_features >> d.n_classes >> n_samples) || d.n_features < 1 ||
+      d.n_classes < 1 || n_samples > (std::size_t{1} << 32)) {
+    throw std::invalid_argument("load_dataset: bad shape");
+  }
+  d.features.reserve(n_samples * static_cast<std::size_t>(d.n_features));
+  d.labels.reserve(n_samples);
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      if (d.size() != n_samples) {
+        throw std::invalid_argument("load_dataset: sample count mismatch");
+      }
+      return d;
+    }
+    if (tag != "row") {
+      throw std::invalid_argument("load_dataset: unknown tag " + tag);
+    }
+    int label = 0;
+    if (!(is >> label) || label < 0 || label >= d.n_classes) {
+      throw std::invalid_argument("load_dataset: label out of range");
+    }
+    d.labels.push_back(label);
+    for (int f = 0; f < d.n_features; ++f) {
+      d.features.push_back(read_hexdouble(is, "load_dataset"));
+    }
+  }
+  throw std::invalid_argument("load_dataset: missing end");
+}
+
+void save_quant_dataset(const datasets::QuantizedDataset& d,
+                        std::ostream& os) {
+  os << "pmlp-quant-dataset v1\n";
+  write_name_line(os, d.name);
+  os << "shape " << d.n_features << ' ' << d.n_classes << ' ' << d.input_bits
+     << ' ' << d.size() << '\n';
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    os << "row " << d.labels[i];
+    for (unsigned code : d.row(i)) os << ' ' << code;
+    os << '\n';
+  }
+  os << "end\n";
+  check_stream(os, "save_quant_dataset");
+}
+
+datasets::QuantizedDataset load_quant_dataset(std::istream& is) {
+  expect_header(is, "pmlp-quant-dataset", "load_quant_dataset");
+  datasets::QuantizedDataset d;
+  d.name = read_name_line(is, "load_quant_dataset");
+  expect_tag(is, "shape", "load_quant_dataset");
+  std::size_t n_samples = 0;
+  if (!(is >> d.n_features >> d.n_classes >> d.input_bits >> n_samples) ||
+      d.n_features < 1 || d.n_classes < 1 || d.input_bits < 1 ||
+      d.input_bits > 8 || n_samples > (std::size_t{1} << 32)) {
+    throw std::invalid_argument("load_quant_dataset: bad shape");
+  }
+  const unsigned max_code = (1u << d.input_bits) - 1u;
+  d.codes.reserve(n_samples * static_cast<std::size_t>(d.n_features));
+  d.labels.reserve(n_samples);
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      if (d.size() != n_samples) {
+        throw std::invalid_argument(
+            "load_quant_dataset: sample count mismatch");
+      }
+      return d;
+    }
+    if (tag != "row") {
+      throw std::invalid_argument("load_quant_dataset: unknown tag " + tag);
+    }
+    int label = 0;
+    if (!(is >> label) || label < 0 || label >= d.n_classes) {
+      throw std::invalid_argument("load_quant_dataset: label out of range");
+    }
+    d.labels.push_back(label);
+    for (int f = 0; f < d.n_features; ++f) {
+      unsigned code = 0;
+      if (!(is >> code) || code > max_code) {
+        throw std::invalid_argument("load_quant_dataset: code out of range");
+      }
+      d.codes.push_back(static_cast<std::uint8_t>(code));
+    }
+  }
+  throw std::invalid_argument("load_quant_dataset: missing end");
+}
+
+// -------------------------------------------------------------------- MLPs
+
+void save_float_mlp(const mlp::FloatMlp& net, std::ostream& os) {
+  os << "pmlp-float-mlp v1\n";
+  write_topology(os, net.topology());
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    os << "layer " << l << '\n';
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "w " << o;
+      for (int i = 0; i < layer.n_in; ++i) {
+        os << ' ';
+        write_hexdouble(os, layer.weight(o, i));
+      }
+      os << '\n';
+    }
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "b " << o << ' ';
+      write_hexdouble(os, layer.biases[static_cast<std::size_t>(o)]);
+      os << '\n';
+    }
+  }
+  os << "end\n";
+  check_stream(os, "save_float_mlp");
+}
+
+mlp::FloatMlp load_float_mlp(std::istream& is) {
+  expect_header(is, "pmlp-float-mlp", "load_float_mlp");
+  const auto topo = read_topology(is, "load_float_mlp");
+  mlp::FloatMlp net(topo, /*seed=*/0);  // shape only; weights overwritten
+  // Every neuron's weight row and bias must appear: a file missing rows
+  // would otherwise silently keep the seed-0 random initialization.
+  std::vector<std::vector<char>> w_seen, b_seen;
+  for (const auto& layer : net.layers()) {
+    w_seen.emplace_back(static_cast<std::size_t>(layer.n_out), 0);
+    b_seen.emplace_back(static_cast<std::size_t>(layer.n_out), 0);
+  }
+  int current_layer = -1;
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      for (std::size_t l = 0; l < w_seen.size(); ++l) {
+        for (char seen : w_seen[l]) {
+          if (!seen) {
+            throw std::invalid_argument("load_float_mlp: missing weights");
+          }
+        }
+        for (char seen : b_seen[l]) {
+          if (!seen) {
+            throw std::invalid_argument("load_float_mlp: missing bias");
+          }
+        }
+      }
+      return net;
+    }
+    if (tag == "layer") {
+      if (!(is >> current_layer) || current_layer < 0 ||
+          current_layer >= static_cast<int>(net.layers().size())) {
+        throw std::invalid_argument("load_float_mlp: bad layer index");
+      }
+    } else if (tag == "w" || tag == "b") {
+      if (current_layer < 0) {
+        throw std::invalid_argument("load_float_mlp: value before layer");
+      }
+      auto& layer = net.layers()[static_cast<std::size_t>(current_layer)];
+      int o = 0;
+      if (!(is >> o) || o < 0 || o >= layer.n_out) {
+        throw std::invalid_argument("load_float_mlp: neuron out of range");
+      }
+      if (tag == "w") {
+        for (int i = 0; i < layer.n_in; ++i) {
+          layer.weight(o, i) = read_hexdouble(is, "load_float_mlp");
+        }
+        w_seen[static_cast<std::size_t>(current_layer)]
+              [static_cast<std::size_t>(o)] = 1;
+      } else {
+        layer.biases[static_cast<std::size_t>(o)] =
+            read_hexdouble(is, "load_float_mlp");
+        b_seen[static_cast<std::size_t>(current_layer)]
+              [static_cast<std::size_t>(o)] = 1;
+      }
+    } else {
+      throw std::invalid_argument("load_float_mlp: unknown tag " + tag);
+    }
+  }
+  throw std::invalid_argument("load_float_mlp: missing end");
+}
+
+void save_quant_mlp(const mlp::QuantMlp& net, std::ostream& os) {
+  os << "pmlp-quant-mlp v1\n";
+  write_topology(os, net.topology());
+  os << "bits " << net.weight_bits() << ' ' << net.activation_bits() << '\n';
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    os << "layer " << l << ' ' << layer.input_bits << ' ' << layer.qrelu_shift
+       << '\n';
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "w " << o;
+      for (int i = 0; i < layer.n_in; ++i) os << ' ' << layer.weight(o, i);
+      os << '\n';
+    }
+    for (int o = 0; o < layer.n_out; ++o) {
+      os << "b " << o << ' ' << layer.biases[static_cast<std::size_t>(o)]
+         << '\n';
+    }
+  }
+  os << "end\n";
+  check_stream(os, "save_quant_mlp");
+}
+
+mlp::QuantMlp load_quant_mlp(std::istream& is) {
+  expect_header(is, "pmlp-quant-mlp", "load_quant_mlp");
+  const auto topo = read_topology(is, "load_quant_mlp");
+  int weight_bits = 0, act_bits = 0;
+  expect_tag(is, "bits", "load_quant_mlp");
+  if (!(is >> weight_bits >> act_bits) || weight_bits < 2 ||
+      weight_bits > 24 || act_bits < 1 || act_bits > 24) {
+    throw std::invalid_argument("load_quant_mlp: bit config out of range");
+  }
+  std::vector<mlp::QuantLayer> layers(
+      static_cast<std::size_t>(topo.n_layers()));
+  std::vector<char> layer_seen(layers.size(), 0);
+  std::vector<std::vector<char>> w_seen, b_seen;
+  for (int l = 0; l < topo.n_layers(); ++l) {
+    auto& layer = layers[static_cast<std::size_t>(l)];
+    layer.n_in = topo.layers[static_cast<std::size_t>(l)];
+    layer.n_out = topo.layers[static_cast<std::size_t>(l) + 1];
+    layer.weights.assign(
+        static_cast<std::size_t>(layer.n_in) * layer.n_out, 0);
+    layer.biases.assign(static_cast<std::size_t>(layer.n_out), 0);
+    w_seen.emplace_back(static_cast<std::size_t>(layer.n_out), 0);
+    b_seen.emplace_back(static_cast<std::size_t>(layer.n_out), 0);
+  }
+  int current_layer = -1;
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      // Reject files missing any layer header, weight row or bias (they
+      // would otherwise load with silent zeros / default shifts).
+      for (std::size_t l = 0; l < layers.size(); ++l) {
+        bool complete = layer_seen[l] != 0;
+        for (char seen : w_seen[l]) complete = complete && seen != 0;
+        for (char seen : b_seen[l]) complete = complete && seen != 0;
+        if (!complete) {
+          throw std::invalid_argument("load_quant_mlp: incomplete layer");
+        }
+      }
+      return mlp::QuantMlp(topo, std::move(layers), weight_bits, act_bits);
+    }
+    if (tag == "layer") {
+      int input_bits = 0, shift = 0;
+      if (!(is >> current_layer >> input_bits >> shift) || current_layer < 0 ||
+          current_layer >= static_cast<int>(layers.size()) || input_bits < 1 ||
+          input_bits > 24 || shift < 0 || shift > 63) {
+        throw std::invalid_argument("load_quant_mlp: bad layer line");
+      }
+      layers[static_cast<std::size_t>(current_layer)].input_bits = input_bits;
+      layers[static_cast<std::size_t>(current_layer)].qrelu_shift = shift;
+      layer_seen[static_cast<std::size_t>(current_layer)] = 1;
+    } else if (tag == "w" || tag == "b") {
+      if (current_layer < 0) {
+        throw std::invalid_argument("load_quant_mlp: value before layer");
+      }
+      auto& layer = layers[static_cast<std::size_t>(current_layer)];
+      int o = 0;
+      if (!(is >> o) || o < 0 || o >= layer.n_out) {
+        throw std::invalid_argument("load_quant_mlp: neuron out of range");
+      }
+      if (tag == "w") {
+        const std::int64_t limit = std::int64_t{1} << (weight_bits - 1);
+        for (int i = 0; i < layer.n_in; ++i) {
+          std::int64_t w = 0;
+          if (!(is >> w) || w < -limit || w >= limit) {
+            throw std::invalid_argument(
+                "load_quant_mlp: weight out of range");
+          }
+          layer.weights[static_cast<std::size_t>(o) * layer.n_in + i] =
+              static_cast<std::int32_t>(w);
+        }
+        w_seen[static_cast<std::size_t>(current_layer)]
+              [static_cast<std::size_t>(o)] = 1;
+      } else {
+        std::int64_t b = 0;
+        if (!(is >> b)) {
+          throw std::invalid_argument("load_quant_mlp: malformed bias");
+        }
+        layer.biases[static_cast<std::size_t>(o)] = b;
+        b_seen[static_cast<std::size_t>(current_layer)]
+              [static_cast<std::size_t>(o)] = 1;
+      }
+    } else {
+      throw std::invalid_argument("load_quant_mlp: unknown tag " + tag);
+    }
+  }
+  throw std::invalid_argument("load_quant_mlp: missing end");
+}
+
+// --------------------------------------------------------- baseline stage
+
+void save_baseline_pricing(const BaselinePricing& pricing, std::ostream& os) {
+  os << "pmlp-baseline v1\n";
+  os << "cost ";
+  write_hexdouble(os, pricing.cost.area_mm2);
+  os << ' ';
+  write_hexdouble(os, pricing.cost.power_uw);
+  os << ' ';
+  write_hexdouble(os, pricing.cost.critical_delay_us);
+  os << ' ' << pricing.cost.cell_count << '\n';
+  os << "train_accuracy ";
+  write_hexdouble(os, pricing.train_accuracy);
+  os << '\n';
+  os << "test_accuracy ";
+  write_hexdouble(os, pricing.test_accuracy);
+  os << '\n';
+  save_quant_mlp(pricing.net, os);
+  os << "end\n";
+  check_stream(os, "save_baseline_pricing");
+}
+
+BaselinePricing load_baseline_pricing(std::istream& is) {
+  expect_header(is, "pmlp-baseline", "load_baseline_pricing");
+  BaselinePricing p;
+  expect_tag(is, "cost", "load_baseline_pricing");
+  p.cost.area_mm2 = read_hexdouble(is, "load_baseline_pricing");
+  p.cost.power_uw = read_hexdouble(is, "load_baseline_pricing");
+  p.cost.critical_delay_us = read_hexdouble(is, "load_baseline_pricing");
+  if (!(is >> p.cost.cell_count) || p.cost.cell_count < 0) {
+    throw std::invalid_argument("load_baseline_pricing: bad cell_count");
+  }
+  expect_tag(is, "train_accuracy", "load_baseline_pricing");
+  p.train_accuracy = read_hexdouble(is, "load_baseline_pricing");
+  expect_tag(is, "test_accuracy", "load_baseline_pricing");
+  p.test_accuracy = read_hexdouble(is, "load_baseline_pricing");
+  p.net = load_quant_mlp(is);
+  expect_tag(is, "end", "load_baseline_pricing");
+  return p;
+}
+
+// --------------------------------------------------------- training result
+
+void save_training_result(const TrainingResult& r, std::ostream& os) {
+  os << "pmlp-training v1\n";
+  os << "counters " << r.evaluations << ' ';
+  write_hexdouble(os, r.wall_seconds);
+  os << ' ';
+  write_hexdouble(os, r.baseline_train_accuracy);
+  os << ' ';
+  write_hexdouble(os, r.evals_per_second);
+  os << ' ' << r.cache_hits << ' ';
+  write_hexdouble(os, r.cache_hit_rate);
+  os << '\n';
+  os << "count " << r.estimated_pareto.size() << '\n';
+  for (const auto& p : r.estimated_pareto) {
+    os << "point ";
+    write_hexdouble(os, p.train_accuracy);
+    os << ' ' << p.fa_area << '\n';
+    write_model_embedded(p.model, os);
+  }
+  os << "end\n";
+  check_stream(os, "save_training_result");
+}
+
+TrainingResult load_training_result(std::istream& is) {
+  expect_header(is, "pmlp-training", "load_training_result");
+  TrainingResult r;
+  expect_tag(is, "counters", "load_training_result");
+  if (!(is >> r.evaluations) || r.evaluations < 0) {
+    throw std::invalid_argument("load_training_result: bad counters");
+  }
+  r.wall_seconds = read_hexdouble(is, "load_training_result");
+  r.baseline_train_accuracy = read_hexdouble(is, "load_training_result");
+  r.evals_per_second = read_hexdouble(is, "load_training_result");
+  if (!(is >> r.cache_hits) || r.cache_hits < 0) {
+    throw std::invalid_argument("load_training_result: bad cache counters");
+  }
+  r.cache_hit_rate = read_hexdouble(is, "load_training_result");
+  expect_tag(is, "count", "load_training_result");
+  std::size_t count = 0;
+  if (!(is >> count) || count > (std::size_t{1} << 24)) {
+    throw std::invalid_argument("load_training_result: bad count");
+  }
+  r.estimated_pareto.reserve(count);
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      if (r.estimated_pareto.size() != count) {
+        throw std::invalid_argument(
+            "load_training_result: point count mismatch");
+      }
+      return r;
+    }
+    if (tag != "point") {
+      throw std::invalid_argument("load_training_result: unknown tag " + tag);
+    }
+    EstimatedPoint p;
+    p.train_accuracy = read_hexdouble(is, "load_training_result");
+    if (!(is >> p.fa_area) || p.fa_area < 0) {
+      throw std::invalid_argument("load_training_result: bad fa_area");
+    }
+    p.model = read_model_embedded(is, "load_training_result");
+    r.estimated_pareto.push_back(std::move(p));
+  }
+  throw std::invalid_argument("load_training_result: missing end");
+}
+
+// -------------------------------------------------------- evaluated points
+
+void save_evaluated_points(std::span<const HwEvaluatedPoint> points,
+                           std::ostream& os) {
+  os << "pmlp-evaluated v1\n";
+  os << "count " << points.size() << '\n';
+  for (const auto& p : points) {
+    os << "point ";
+    write_hexdouble(os, p.test_accuracy);
+    os << ' ' << p.fa_area << ' ' << (p.functional_match ? 1 : 0) << ' ';
+    write_hexdouble(os, p.cost.area_mm2);
+    os << ' ';
+    write_hexdouble(os, p.cost.power_uw);
+    os << ' ';
+    write_hexdouble(os, p.cost.critical_delay_us);
+    os << ' ' << p.cost.cell_count << '\n';
+    write_model_embedded(p.model, os);
+  }
+  os << "end\n";
+  check_stream(os, "save_evaluated_points");
+}
+
+std::vector<HwEvaluatedPoint> load_evaluated_points(std::istream& is) {
+  expect_header(is, "pmlp-evaluated", "load_evaluated_points");
+  expect_tag(is, "count", "load_evaluated_points");
+  std::size_t count = 0;
+  if (!(is >> count) || count > (std::size_t{1} << 24)) {
+    throw std::invalid_argument("load_evaluated_points: bad count");
+  }
+  std::vector<HwEvaluatedPoint> points;
+  points.reserve(count);
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      if (points.size() != count) {
+        throw std::invalid_argument(
+            "load_evaluated_points: point count mismatch");
+      }
+      return points;
+    }
+    if (tag != "point") {
+      throw std::invalid_argument("load_evaluated_points: unknown tag " +
+                                  tag);
+    }
+    HwEvaluatedPoint p;
+    p.test_accuracy = read_hexdouble(is, "load_evaluated_points");
+    int match = 0;
+    if (!(is >> p.fa_area) || p.fa_area < 0) {
+      throw std::invalid_argument("load_evaluated_points: bad fa_area");
+    }
+    if (!(is >> match) || (match != 0 && match != 1)) {
+      throw std::invalid_argument(
+          "load_evaluated_points: bad functional_match");
+    }
+    p.functional_match = match == 1;
+    p.cost.area_mm2 = read_hexdouble(is, "load_evaluated_points");
+    p.cost.power_uw = read_hexdouble(is, "load_evaluated_points");
+    p.cost.critical_delay_us = read_hexdouble(is, "load_evaluated_points");
+    if (!(is >> p.cost.cell_count) || p.cost.cell_count < 0) {
+      throw std::invalid_argument("load_evaluated_points: bad cell_count");
+    }
+    p.model = read_model_embedded(is, "load_evaluated_points");
+    points.push_back(std::move(p));
+  }
+  throw std::invalid_argument("load_evaluated_points: missing end");
+}
+
+// --------------------------------------------------------------- hexfloats
+
+/// Doubles are stored as C hexfloats ("%a"), which round-trip IEEE-754
+/// values exactly and independently of locale or precision settings.
+void write_hexdouble(std::ostream& os, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  os << buf;
+}
+
+double read_hexdouble(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) {
+    throw std::invalid_argument(std::string(what) + ": missing value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE) {
+    throw std::invalid_argument(std::string(what) + ": bad value '" + tok +
+                                "'");
+  }
+  return v;
+}
+
+// ------------------------------------------------------------------ digest
+
+void Fnv1a::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= 1099511628211ull;
+  }
+}
+
+std::uint64_t dataset_digest(const datasets::Dataset& d) {
+  Fnv1a h;
+  h.str(d.name);
+  h.i64(d.n_features);
+  h.i64(d.n_classes);
+  h.u64(d.labels.size());
+  for (int label : d.labels) h.i64(label);
+  h.bytes(d.features.data(), d.features.size() * sizeof(double));
+  return h.state;
 }
 
 }  // namespace pmlp::core

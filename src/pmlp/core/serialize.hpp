@@ -1,7 +1,19 @@
-// Plain-text serialization of trained approximate MLPs so Pareto designs
-// survive the training session (the paper's flow hands them from training
-// to synthesis as artifacts). Format: a versioned, line-oriented text file —
-// stable, diffable, and independent of float formatting:
+// Plain-text serialization of every artifact the Fig. 2 flow hands between
+// stages, so a FlowEngine run can checkpoint after any stage and resume
+// bit-identically. All formats are versioned, line-oriented text files —
+// stable, diffable, and independent of float formatting (doubles are stored
+// as C hexfloats, which round-trip exactly):
+//
+//   pmlp-approx-mlp v1      trained approximate MLP (the original format)
+//   pmlp-dataset v1         normalized float dataset (split halves)
+//   pmlp-quant-dataset v1   4-bit quantized dataset
+//   pmlp-float-mlp v1       gradient-trained float reference net
+//   pmlp-quant-mlp v1       exact bespoke quantized baseline [2]
+//   pmlp-baseline v1        baseline stage: quant net + pricing + accuracy
+//   pmlp-training v1        GA/refine stage output: counters + Pareto set
+//   pmlp-evaluated v1       hardware-evaluated candidates (cost + verdict)
+//
+// The approx-mlp v1 layout is unchanged from the original release:
 //
 //   pmlp-approx-mlp v1
 //   topology 10 3 2
@@ -11,12 +23,20 @@
 //   ...
 //   bias <out> <value>
 //   ...
+//
+// Every *new* format is terminated by an `end` line so artifacts can be
+// embedded in enclosing files (the training/evaluated sets embed one
+// approx-mlp block per point, terminated by `endmodel`).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "pmlp/core/approx_mlp.hpp"
+#include "pmlp/core/flow.hpp"
+#include "pmlp/core/hardware_analysis.hpp"
 
 namespace pmlp::core {
 
@@ -33,5 +53,64 @@ void save_model(const ApproxMlp& net, std::ostream& os);
 /// File convenience wrappers (throw std::runtime_error on I/O failure).
 void save_model_file(const ApproxMlp& net, const std::string& path);
 [[nodiscard]] ApproxMlp load_model_file(const std::string& path);
+
+// ---------------------------------------------------------------- artifacts
+// FlowEngine checkpoint artifacts. All loaders throw std::invalid_argument
+// on malformed input (bad magic/version, shape mismatches, out-of-range
+// values, missing `end` terminator); all writers throw std::runtime_error
+// on stream failure. Loaded artifacts are bit-identical to what was saved.
+
+void save_dataset(const datasets::Dataset& d, std::ostream& os);
+[[nodiscard]] datasets::Dataset load_dataset(std::istream& is);
+
+void save_quant_dataset(const datasets::QuantizedDataset& d, std::ostream& os);
+[[nodiscard]] datasets::QuantizedDataset load_quant_dataset(std::istream& is);
+
+void save_float_mlp(const mlp::FloatMlp& net, std::ostream& os);
+[[nodiscard]] mlp::FloatMlp load_float_mlp(std::istream& is);
+
+void save_quant_mlp(const mlp::QuantMlp& net, std::ostream& os);
+[[nodiscard]] mlp::QuantMlp load_quant_mlp(std::istream& is);
+
+/// Baseline stage output: the quantized bespoke net [2] plus its 1 V
+/// netlist pricing and split-half accuracies.
+void save_baseline_pricing(const BaselinePricing& pricing, std::ostream& os);
+[[nodiscard]] BaselinePricing load_baseline_pricing(std::istream& is);
+
+/// GA / refinement stage output: perf counters + the estimated Pareto set
+/// (each point embeds its approx-mlp v1 block).
+void save_training_result(const TrainingResult& r, std::ostream& os);
+[[nodiscard]] TrainingResult load_training_result(std::istream& is);
+
+/// Hardware-analysis stage output: per-candidate netlist cost, test
+/// accuracy and equivalence verdict.
+void save_evaluated_points(std::span<const HwEvaluatedPoint> points,
+                           std::ostream& os);
+[[nodiscard]] std::vector<HwEvaluatedPoint> load_evaluated_points(
+    std::istream& is);
+
+/// FNV-1a digest over a dataset's name, shape, features and labels — the
+/// checkpoint's guard against resuming onto different data.
+[[nodiscard]] std::uint64_t dataset_digest(const datasets::Dataset& d);
+
+/// Exact double round-trip shared by all artifact formats: the writer
+/// emits a C "%a" hexfloat token, the reader accepts any strtod-parseable
+/// token and throws std::invalid_argument (prefixed with `what`) otherwise.
+void write_hexdouble(std::ostream& os, double v);
+[[nodiscard]] double read_hexdouble(std::istream& is, const char* what);
+
+/// Incremental FNV-1a hasher for config fingerprints (checkpoint meta).
+struct Fnv1a {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n);
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
 
 }  // namespace pmlp::core

@@ -1,0 +1,28 @@
+#include "pmlp/core/suite.hpp"
+
+#include <stdexcept>
+
+namespace pmlp::core {
+
+datasets::SyntheticSpec find_paper_spec(const std::string& name) {
+  for (const auto& s : datasets::paper_suite()) {
+    if (s.name == name) return s;
+  }
+  std::string known;
+  for (const auto& s : datasets::paper_suite()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw std::invalid_argument("unknown dataset '" + name + "'; known: " +
+                              known);
+}
+
+datasets::Dataset load_paper_dataset(const std::string& name) {
+  return datasets::generate(find_paper_spec(name));
+}
+
+const mlp::Topology& paper_topology(const std::string& name) {
+  return mlp::paper_row(name).topology;
+}
+
+}  // namespace pmlp::core

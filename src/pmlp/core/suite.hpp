@@ -1,0 +1,25 @@
+// Paper-suite lookup helpers shared by the CLI, the bench binaries and the
+// examples (previously each re-implemented its own spec search + setup).
+// One name ("BreastCancer", "Cardio", "Pendigits", "RedWine", "WhiteWine")
+// resolves to the synthetic stand-in spec, the generated dataset and the
+// Table I topology.
+#pragma once
+
+#include <string>
+
+#include "pmlp/datasets/synthetic.hpp"
+#include "pmlp/mlp/topology.hpp"
+
+namespace pmlp::core {
+
+/// Find a Table I dataset's synthetic spec by name; throws
+/// std::invalid_argument listing the valid names.
+[[nodiscard]] datasets::SyntheticSpec find_paper_spec(const std::string& name);
+
+/// Generate the normalized dataset for a Table I name (deterministic).
+[[nodiscard]] datasets::Dataset load_paper_dataset(const std::string& name);
+
+/// The Table I topology for the dataset (throws on unknown name).
+[[nodiscard]] const mlp::Topology& paper_topology(const std::string& name);
+
+}  // namespace pmlp::core

@@ -29,6 +29,11 @@ struct EstimatedPoint {
   long fa_area = 0;
 };
 
+/// GA-stage output. The wall/throughput counters here are the template for
+/// the FlowEngine's per-stage StageReport accounting (flow.hpp): the GA
+/// stage's report carries `evaluations` as its work-item count, and a
+/// checkpointed TrainingResult round-trips these counters verbatim so a
+/// resumed run reports the original training cost.
 struct TrainingResult {
   std::vector<EstimatedPoint> estimated_pareto;  ///< sorted by area ascending
   long evaluations = 0;

@@ -9,6 +9,27 @@
 
 namespace pmlp::mlp {
 
+QuantMlp::QuantMlp(Topology topology, std::vector<QuantLayer> layers,
+                   int weight_bits, int activation_bits)
+    : topology_(std::move(topology)),
+      layers_(std::move(layers)),
+      weight_bits_(weight_bits),
+      activation_bits_(activation_bits) {
+  if (layers_.size() != static_cast<std::size_t>(topology_.n_layers())) {
+    throw std::invalid_argument("QuantMlp: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    if (layer.n_in != topology_.layers[l] ||
+        layer.n_out != topology_.layers[l + 1] ||
+        layer.weights.size() !=
+            static_cast<std::size_t>(layer.n_in) * layer.n_out ||
+        layer.biases.size() != static_cast<std::size_t>(layer.n_out)) {
+      throw std::invalid_argument("QuantMlp: layer shape mismatch");
+    }
+  }
+}
+
 QuantMlp QuantMlp::from_float(const FloatMlp& net, int weight_bits,
                               int input_bits, int activation_bits) {
   QuantMlp q;

@@ -39,6 +39,13 @@ struct QuantScratch {
 
 class QuantMlp {
  public:
+  QuantMlp() = default;
+  /// Reassemble a net from explicit layers (checkpoint deserialization —
+  /// see core::load_quant_mlp). Throws std::invalid_argument when the layer
+  /// shapes do not match the topology.
+  QuantMlp(Topology topology, std::vector<QuantLayer> layers, int weight_bits,
+           int activation_bits);
+
   /// Quantize a trained float MLP (paper §V-A: 8-bit weights, 4-bit inputs).
   static QuantMlp from_float(const FloatMlp& net, int weight_bits = 8,
                              int input_bits = 4, int activation_bits = 8);

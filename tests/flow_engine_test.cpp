@@ -1,0 +1,313 @@
+// Tests for the staged FlowEngine (flow_engine.hpp): checkpoint/resume
+// bit-identity, partial resume, meta guards, artifact injection, parallel
+// hardware analysis and stage reporting.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pmlp/core/flow_engine.hpp"
+#include "pmlp/core/serialize.hpp"
+#include "pmlp/datasets/synthetic.hpp"
+
+namespace core = pmlp::core;
+namespace ds = pmlp::datasets;
+namespace fs = std::filesystem;
+
+namespace {
+
+core::FlowConfig small_cfg() {
+  core::FlowConfig cfg;
+  cfg.backprop.epochs = 40;
+  cfg.backprop.seed = 61;
+  cfg.trainer.ga.population = 20;
+  cfg.trainer.ga.generations = 10;
+  cfg.trainer.ga.seed = 61;
+  cfg.hardware.equivalence_samples = 8;
+  return cfg;
+}
+
+ds::Dataset small_data() {
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 200;
+  return ds::generate(spec);
+}
+
+pmlp::mlp::Topology small_topo() { return pmlp::mlp::Topology{{10, 3, 2}}; }
+
+/// Fresh scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag)
+      : path(fs::temp_directory_path() /
+             (std::string("pmlp_flow_test_") + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+void expect_same_points(const std::vector<core::HwEvaluatedPoint>& a,
+                        const std::vector<core::HwEvaluatedPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(core::to_text(a[i].model), core::to_text(b[i].model));
+    EXPECT_EQ(a[i].test_accuracy, b[i].test_accuracy);
+    EXPECT_EQ(a[i].fa_area, b[i].fa_area);
+    EXPECT_EQ(a[i].functional_match, b[i].functional_match);
+    EXPECT_EQ(a[i].cost.area_mm2, b[i].cost.area_mm2);
+    EXPECT_EQ(a[i].cost.power_uw, b[i].cost.power_uw);
+    EXPECT_EQ(a[i].cost.critical_delay_us, b[i].cost.critical_delay_us);
+    EXPECT_EQ(a[i].cost.cell_count, b[i].cost.cell_count);
+  }
+}
+
+void expect_same_result(const core::FlowResult& a, const core::FlowResult& b) {
+  EXPECT_EQ(a.baseline.baseline_train_accuracy,
+            b.baseline.baseline_train_accuracy);
+  EXPECT_EQ(a.baseline.baseline_test_accuracy,
+            b.baseline.baseline_test_accuracy);
+  EXPECT_EQ(a.baseline.baseline_cost.area_mm2,
+            b.baseline.baseline_cost.area_mm2);
+  EXPECT_EQ(a.training.evaluations, b.training.evaluations);
+  ASSERT_EQ(a.training.estimated_pareto.size(),
+            b.training.estimated_pareto.size());
+  for (std::size_t i = 0; i < a.training.estimated_pareto.size(); ++i) {
+    EXPECT_EQ(core::to_text(a.training.estimated_pareto[i].model),
+              core::to_text(b.training.estimated_pareto[i].model));
+    EXPECT_EQ(a.training.estimated_pareto[i].train_accuracy,
+              b.training.estimated_pareto[i].train_accuracy);
+    EXPECT_EQ(a.training.estimated_pareto[i].fa_area,
+              b.training.estimated_pareto[i].fa_area);
+  }
+  expect_same_points(a.evaluated, b.evaluated);
+  expect_same_points(a.front, b.front);
+  ASSERT_EQ(a.best.has_value(), b.best.has_value());
+  if (a.best) {
+    EXPECT_EQ(core::to_text(a.best->model), core::to_text(b.best->model));
+  }
+  EXPECT_EQ(a.area_reduction, b.area_reduction);
+  EXPECT_EQ(a.power_reduction, b.power_reduction);
+}
+
+}  // namespace
+
+TEST(FlowEngine, MatchesRunFlowWrapper) {
+  const auto data = small_data();
+  const auto r0 = core::run_flow(data, small_topo(), small_cfg());
+  core::FlowEngine engine(data, small_topo(), small_cfg());
+  const auto r1 = engine.run();
+  expect_same_result(r0, r1);
+  // The wrapper reports all seven stages, none reused.
+  ASSERT_EQ(r1.stages.size(), 7u);
+  for (const auto& s : r1.stages) EXPECT_FALSE(s.reused);
+  EXPECT_EQ(r1.stages.front().stage, core::FlowStage::kSplit);
+  EXPECT_EQ(r1.stages.back().stage, core::FlowStage::kSelect);
+}
+
+TEST(FlowEngine, CheckpointResumeBitIdentical) {
+  TempDir dir("resume");
+  const auto data = small_data();
+
+  core::FlowEngine first(data, small_topo(), small_cfg());
+  first.set_checkpoint_dir(dir.path.string());
+  const auto r1 = first.run();
+
+  // Every artifact must be on disk.
+  for (const char* f :
+       {"meta.txt", "train_raw.ds", "test_raw.ds", "train.qds", "test.qds",
+        "float_net.txt", "baseline.txt", "ga_front.txt", "refined_front.txt",
+        "evaluated.txt"}) {
+    EXPECT_TRUE(fs::exists(dir.path / f)) << f;
+  }
+
+  core::FlowEngine second(data, small_topo(), small_cfg());
+  second.set_checkpoint_dir(dir.path.string());
+  const auto r2 = second.run();
+  expect_same_result(r1, r2);
+  // Everything except the derived select stage was reloaded.
+  ASSERT_EQ(r2.stages.size(), 7u);
+  for (const auto& s : r2.stages) {
+    EXPECT_EQ(s.reused, s.stage != core::FlowStage::kSelect)
+        << core::flow_stage_name(s.stage);
+  }
+
+  // And the checkpointed run equals the checkpoint-free run.
+  const auto r0 = core::run_flow(data, small_topo(), small_cfg());
+  expect_same_result(r0, r1);
+}
+
+TEST(FlowEngine, PartialResumeRecomputesDownstream) {
+  TempDir dir("partial");
+  const auto data = small_data();
+
+  core::FlowEngine first(data, small_topo(), small_cfg());
+  first.set_checkpoint_dir(dir.path.string());
+  const auto r1 = first.run();
+
+  fs::remove(dir.path / "refined_front.txt");
+  fs::remove(dir.path / "evaluated.txt");
+
+  core::FlowEngine second(data, small_topo(), small_cfg());
+  second.set_checkpoint_dir(dir.path.string());
+  const auto r2 = second.run();
+  expect_same_result(r1, r2);
+  for (const auto& s : r2.stages) {
+    const bool expect_reused = s.stage == core::FlowStage::kSplit ||
+                               s.stage == core::FlowStage::kBackprop ||
+                               s.stage == core::FlowStage::kBaseline ||
+                               s.stage == core::FlowStage::kGa;
+    EXPECT_EQ(s.reused, expect_reused) << core::flow_stage_name(s.stage);
+  }
+  // The recomputed artifacts were re-persisted.
+  EXPECT_TRUE(fs::exists(dir.path / "refined_front.txt"));
+  EXPECT_TRUE(fs::exists(dir.path / "evaluated.txt"));
+}
+
+TEST(FlowEngine, RejectsCheckpointOfDifferentConfig) {
+  TempDir dir("confguard");
+  const auto data = small_data();
+  core::FlowEngine first(data, small_topo(), small_cfg());
+  first.set_checkpoint_dir(dir.path.string());
+  (void)first.split();  // writes meta + split artifacts
+
+  auto other = small_cfg();
+  other.trainer.ga.generations += 1;
+  core::FlowEngine second(data, small_topo(), other);
+  second.set_checkpoint_dir(dir.path.string());
+  EXPECT_THROW((void)second.run(), std::runtime_error);
+}
+
+TEST(FlowEngine, RejectsCheckpointOfDifferentDataset) {
+  TempDir dir("dataguard");
+  const auto data = small_data();
+  core::FlowEngine first(data, small_topo(), small_cfg());
+  first.set_checkpoint_dir(dir.path.string());
+  (void)first.split();
+
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 201;  // different data -> different digest
+  core::FlowEngine second(ds::generate(spec), small_topo(), small_cfg());
+  second.set_checkpoint_dir(dir.path.string());
+  EXPECT_THROW((void)second.run(), std::runtime_error);
+}
+
+TEST(FlowEngine, RejectsMalformedMeta) {
+  TempDir dir("badmeta");
+  fs::create_directories(dir.path);
+  std::ofstream(dir.path / "meta.txt") << "pmlp-flow-meta v9\ngarbage\n";
+  core::FlowEngine engine(small_data(), small_topo(), small_cfg());
+  engine.set_checkpoint_dir(dir.path.string());
+  EXPECT_THROW((void)engine.run(), std::invalid_argument);
+}
+
+TEST(FlowEngine, InjectedArtifactsMatchFullRun) {
+  const auto data = small_data();
+  const auto r0 = core::run_flow(data, small_topo(), small_cfg());
+
+  // Prime a second engine with the first run's baseline artifacts (the
+  // bench path: one baseline, many GA runs).
+  core::FlowEngine engine(ds::Dataset{}, small_topo(), small_cfg());
+  core::SplitArtifacts split;
+  split.train_raw = r0.baseline.train_raw;
+  split.test_raw = r0.baseline.test_raw;
+  split.train = r0.baseline.train;
+  split.test = r0.baseline.test;
+  engine.provide_split(std::move(split));
+  engine.provide_float_net(r0.baseline.float_net);
+  core::BaselinePricing pricing;
+  pricing.net = r0.baseline.baseline;
+  pricing.cost = r0.baseline.baseline_cost;
+  pricing.train_accuracy = r0.baseline.baseline_train_accuracy;
+  pricing.test_accuracy = r0.baseline.baseline_test_accuracy;
+  engine.provide_baseline(std::move(pricing));
+
+  const auto r1 = engine.run();
+  expect_same_result(r0, r1);
+  int reused = 0;
+  for (const auto& s : r1.stages) reused += s.reused ? 1 : 0;
+  EXPECT_EQ(reused, 3);  // split, backprop, baseline
+}
+
+TEST(FlowEngine, ParallelHardwareAnalysisBitIdentical) {
+  const auto data = small_data();
+  core::FlowEngine engine(data, small_topo(), small_cfg());
+  const auto result = engine.run();
+  ASSERT_FALSE(result.training.estimated_pareto.empty());
+
+  const auto& test = result.baseline.test;
+  const auto& lib = pmlp::hwmodel::CellLibrary::egfet_1v();
+  core::HardwareAnalysisConfig cfg;
+  cfg.equivalence_samples = 8;
+  cfg.n_threads = 1;
+  const auto serial =
+      core::evaluate_hardware(result.training.estimated_pareto, test, lib,
+                              cfg);
+  for (int n : {0, 2, 4, 7}) {
+    cfg.n_threads = n;
+    const auto parallel = core::evaluate_hardware(
+        result.training.estimated_pareto, test, lib, cfg);
+    expect_same_points(serial, parallel);
+  }
+}
+
+TEST(FlowEngine, ParallelFlowMatchesSerialFlow) {
+  const auto data = small_data();
+  auto cfg = small_cfg();
+  cfg.trainer.n_threads = 1;
+  const auto serial = core::run_flow(data, small_topo(), cfg);
+  cfg.trainer.n_threads = 4;
+  const auto parallel = core::run_flow(data, small_topo(), cfg);
+  expect_same_result(serial, parallel);
+}
+
+TEST(FlowEngine, RefineDisabledSkipsStage) {
+  auto cfg = small_cfg();
+  cfg.refine = false;
+  core::FlowEngine engine(small_data(), small_topo(), cfg);
+  const auto result = engine.run();
+  ASSERT_EQ(result.stages.size(), 6u);
+  for (const auto& s : result.stages) {
+    EXPECT_NE(s.stage, core::FlowStage::kRefine);
+  }
+}
+
+TEST(FlowEngine, ProgressCallbackSeesEveryStage) {
+  std::vector<std::string> seen;
+  core::FlowEngine engine(small_data(), small_topo(), small_cfg());
+  engine.set_progress([&](const core::StageReport& r) {
+    seen.push_back(core::flow_stage_name(r.stage));
+  });
+  (void)engine.run();
+  const std::vector<std::string> expected{
+      "split", "backprop", "baseline", "ga", "refine", "hardware", "select"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(FlowEngine, RepeatedRunDoesNotRecompute) {
+  core::FlowEngine engine(small_data(), small_topo(), small_cfg());
+  const auto r1 = engine.run();
+  const auto r2 = engine.run();  // all artifacts cached in memory
+  expect_same_result(r1, r2);
+  EXPECT_EQ(r1.stages.size(), r2.stages.size());
+}
+
+TEST(FlowEngine, JsonReportIsWellFormed) {
+  core::FlowEngine engine(small_data(), small_topo(), small_cfg());
+  const auto result = engine.run();
+  std::ostringstream os;
+  core::write_flow_report_json(result, "Breast\"Cancer", small_topo(), os);
+  const std::string json = os.str();
+  // Structural smoke checks (no JSON parser in the test deps).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline
+  EXPECT_NE(json.find("\"dataset\":\"Breast\\\"Cancer\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"hardware\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluated\":["), std::string::npos);
+  EXPECT_NE(json.find("\"area_reduction\":"), std::string::npos);
+}

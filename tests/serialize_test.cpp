@@ -105,6 +105,388 @@ TEST(Serialize, MissingFileThrows) {
                std::runtime_error);
 }
 
+// --------------------------------------------- flow checkpoint artifacts
+
+namespace {
+
+template <typename T, typename Save, typename Load>
+T round_trip(const T& value, Save save, Load load) {
+  std::ostringstream os;
+  save(value, os);
+  std::istringstream is(os.str());
+  return load(is);
+}
+
+template <typename T, typename Save>
+std::string dump(const T& value, Save save) {
+  std::ostringstream os;
+  save(value, os);
+  return os.str();
+}
+
+ds::Dataset tiny_dataset() {
+  ds::Dataset d;
+  d.name = "tiny";
+  d.n_features = 3;
+  d.n_classes = 2;
+  // Values picked to stress exact double round-trips (subnormal-ish,
+  // repeating binary fractions, exact integers).
+  d.features = {0.1, 0.25, 1.0, 1e-17, 0.3333333333333333, 0.9999999999999999};
+  d.labels = {0, 1};
+  return d;
+}
+
+ds::QuantizedDataset tiny_quant() {
+  ds::QuantizedDataset d;
+  d.name = "tinyq";
+  d.n_features = 2;
+  d.n_classes = 3;
+  d.input_bits = 4;
+  d.codes = {0, 15, 7, 8, 1, 14};
+  d.labels = {0, 2, 1};
+  return d;
+}
+
+}  // namespace
+
+TEST(SerializeArtifacts, DatasetRoundTripExact) {
+  const auto d = tiny_dataset();
+  const auto r = round_trip(d, core::save_dataset, core::load_dataset);
+  EXPECT_EQ(r.name, d.name);
+  EXPECT_EQ(r.n_features, d.n_features);
+  EXPECT_EQ(r.n_classes, d.n_classes);
+  EXPECT_EQ(r.labels, d.labels);
+  ASSERT_EQ(r.features.size(), d.features.size());
+  for (std::size_t i = 0; i < d.features.size(); ++i) {
+    EXPECT_EQ(r.features[i], d.features[i]);  // bit-exact, not approx
+  }
+}
+
+TEST(SerializeArtifacts, DatasetRejectsMalformed) {
+  const auto good =
+      dump(tiny_dataset(), [](const auto& v, auto& os) {
+        core::save_dataset(v, os);
+      });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_dataset(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-dataset v9\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("wrong v1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(""), std::invalid_argument);
+  // Missing end terminator.
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  // Label out of range.
+  std::string bad = good;
+  bad.replace(bad.find("row 0"), 5, "row 9");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+  // Unknown tag.
+  bad = good;
+  bad.replace(bad.find("row"), 3, "wat");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+  // Non-numeric feature.
+  bad = good;
+  bad.replace(bad.find("0x"), 2, "zz");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, QuantDatasetRoundTripAndRejects) {
+  const auto d = tiny_quant();
+  const auto r =
+      round_trip(d, core::save_quant_dataset, core::load_quant_dataset);
+  EXPECT_EQ(r.name, d.name);
+  EXPECT_EQ(r.input_bits, d.input_bits);
+  EXPECT_EQ(r.codes, d.codes);
+  EXPECT_EQ(r.labels, d.labels);
+
+  const auto good = dump(d, [](const auto& v, auto& os) {
+    core::save_quant_dataset(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_quant_dataset(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-quant-dataset v2\n"),
+               std::invalid_argument);
+  // Code above 2^input_bits - 1.
+  std::string bad = good;
+  bad.replace(bad.find(" 15"), 3, " 16");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, FloatMlpRoundTripExact) {
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 120;
+  const auto data = ds::generate(spec);
+  mlp::BackpropConfig bp;
+  bp.epochs = 10;
+  bp.seed = 5;
+  const auto net =
+      mlp::train_float_mlp(mlp::Topology{{10, 3, 2}}, data, bp);
+  const auto r = round_trip(net, core::save_float_mlp, core::load_float_mlp);
+  ASSERT_EQ(r.topology().layers, net.topology().layers);
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    EXPECT_EQ(r.layers()[l].weights, net.layers()[l].weights);
+    EXPECT_EQ(r.layers()[l].biases, net.layers()[l].biases);
+  }
+
+  const auto good = dump(net, [](const auto& v, auto& os) {
+    core::save_float_mlp(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_float_mlp(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-float-mlp v2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  std::string bad = good;
+  bad.replace(bad.find("w 0"), 3, "w 9");  // neuron out of range
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, QuantMlpRoundTripPreservesBehaviour) {
+  auto spec = ds::breast_cancer_spec();
+  spec.n_samples = 120;
+  const auto data = ds::generate(spec);
+  mlp::BackpropConfig bp;
+  bp.epochs = 10;
+  bp.seed = 5;
+  const auto fnet =
+      mlp::train_float_mlp(mlp::Topology{{10, 3, 2}}, data, bp);
+  const auto net = mlp::QuantMlp::from_float(fnet);
+  const auto r = round_trip(net, core::save_quant_mlp, core::load_quant_mlp);
+  ASSERT_EQ(r.topology().layers, net.topology().layers);
+  EXPECT_EQ(r.weight_bits(), net.weight_bits());
+  const auto quant = ds::quantize_inputs(data, 4);
+  for (std::size_t i = 0; i < quant.size(); ++i) {
+    EXPECT_EQ(r.forward(quant.row(i)), net.forward(quant.row(i)));
+  }
+
+  const auto good = dump(net, [](const auto& v, auto& os) {
+    core::save_quant_mlp(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_quant_mlp(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-quant-mlp v2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  // Weight outside the 8-bit signed range.
+  std::string bad = good;
+  const auto wpos = bad.find("w 0 ");
+  const auto weol = bad.find('\n', wpos);
+  bad.replace(wpos, weol - wpos, "w 0 999 0 0 0 0 0 0 0 0 0");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, TrainingResultRoundTrip) {
+  core::TrainingResult t;
+  t.evaluations = 1234;
+  t.wall_seconds = 0.125;
+  t.baseline_train_accuracy = 0.9000000000000001;
+  t.evals_per_second = 9876.5;
+  t.cache_hits = 77;
+  t.cache_hit_rate = 0.25;
+  for (std::uint64_t seed : {1u, 2u}) {
+    core::EstimatedPoint p;
+    p.model = random_model(seed);
+    p.train_accuracy = 0.5 + 0.01 * static_cast<double>(seed);
+    p.fa_area = 100 + static_cast<long>(seed);
+    t.estimated_pareto.push_back(std::move(p));
+  }
+
+  const auto r = round_trip(t, core::save_training_result,
+                            core::load_training_result);
+  EXPECT_EQ(r.evaluations, t.evaluations);
+  EXPECT_EQ(r.wall_seconds, t.wall_seconds);
+  EXPECT_EQ(r.baseline_train_accuracy, t.baseline_train_accuracy);
+  EXPECT_EQ(r.evals_per_second, t.evals_per_second);
+  EXPECT_EQ(r.cache_hits, t.cache_hits);
+  EXPECT_EQ(r.cache_hit_rate, t.cache_hit_rate);
+  ASSERT_EQ(r.estimated_pareto.size(), t.estimated_pareto.size());
+  for (std::size_t i = 0; i < t.estimated_pareto.size(); ++i) {
+    EXPECT_EQ(core::to_text(r.estimated_pareto[i].model),
+              core::to_text(t.estimated_pareto[i].model));
+    EXPECT_EQ(r.estimated_pareto[i].train_accuracy,
+              t.estimated_pareto[i].train_accuracy);
+    EXPECT_EQ(r.estimated_pareto[i].fa_area, t.estimated_pareto[i].fa_area);
+  }
+
+  const auto good = dump(t, [](const auto& v, auto& os) {
+    core::save_training_result(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_training_result(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-training v2\n"), std::invalid_argument);
+  // Truncation inside an embedded model (drops its endmodel + outer end).
+  const auto cut = good.find("endmodel");
+  EXPECT_THROW((void)parse(good.substr(0, cut)), std::invalid_argument);
+  // Count mismatch.
+  std::string bad = good;
+  bad.replace(bad.find("count 2"), 7, "count 3");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+  // Corrupt gene inside an embedded model block propagates.
+  bad = good;
+  const auto cpos = bad.find("conn 0 0 ");
+  const auto ceol = bad.find('\n', cpos);
+  bad.replace(cpos, ceol - cpos, "conn 0 0 3 1 99");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, EvaluatedPointsRoundTrip) {
+  std::vector<core::HwEvaluatedPoint> points;
+  for (std::uint64_t seed : {3u, 4u}) {
+    core::HwEvaluatedPoint p;
+    p.model = random_model(seed);
+    p.test_accuracy = 0.75 + 0.001 * static_cast<double>(seed);
+    p.fa_area = 55;
+    p.functional_match = seed == 3u;
+    p.cost.area_mm2 = 1.5;
+    p.cost.power_uw = 2.5e3;
+    p.cost.critical_delay_us = 12.0;
+    p.cost.cell_count = 321;
+    points.push_back(std::move(p));
+  }
+  const auto r = round_trip(points, core::save_evaluated_points,
+                            core::load_evaluated_points);
+  ASSERT_EQ(r.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(core::to_text(r[i].model), core::to_text(points[i].model));
+    EXPECT_EQ(r[i].test_accuracy, points[i].test_accuracy);
+    EXPECT_EQ(r[i].functional_match, points[i].functional_match);
+    EXPECT_EQ(r[i].cost.area_mm2, points[i].cost.area_mm2);
+    EXPECT_EQ(r[i].cost.power_uw, points[i].cost.power_uw);
+    EXPECT_EQ(r[i].cost.cell_count, points[i].cost.cell_count);
+  }
+
+  const auto good = dump(points, [](const auto& v, auto& os) {
+    core::save_evaluated_points(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_evaluated_points(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-evaluated v2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  // functional_match must be 0/1.
+  std::string bad = good;
+  bad.replace(bad.find(" 55 1 "), 6, " 55 7 ");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, NamesWithSpacesRoundTrip) {
+  auto d = tiny_dataset();
+  d.name = "red wine quality";
+  const auto r = round_trip(d, core::save_dataset, core::load_dataset);
+  EXPECT_EQ(r.name, d.name);
+  auto q = tiny_quant();
+  q.name = "white wine";
+  const auto rq =
+      round_trip(q, core::save_quant_dataset, core::load_quant_dataset);
+  EXPECT_EQ(rq.name, q.name);
+}
+
+TEST(SerializeArtifacts, FloatMlpRejectsMissingRows) {
+  mlp::FloatMlp net(mlp::Topology{{4, 3, 2}}, 9);
+  const auto good = dump(net, [](const auto& v, auto& os) {
+    core::save_float_mlp(v, os);
+  });
+  // Drop one weight row but keep the file otherwise well-formed: must be
+  // rejected, not silently filled with random initialization.
+  const auto pos = good.find("w 1");
+  const auto eol = good.find('\n', pos);
+  std::string bad = good;
+  bad.erase(pos, eol - pos + 1);
+  std::istringstream is(bad);
+  EXPECT_THROW((void)core::load_float_mlp(is), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, QuantMlpRejectsMissingRows) {
+  mlp::FloatMlp fnet(mlp::Topology{{4, 3, 2}}, 9);
+  const auto net = mlp::QuantMlp::from_float(fnet);
+  const auto good = dump(net, [](const auto& v, auto& os) {
+    core::save_quant_mlp(v, os);
+  });
+  // Missing bias line.
+  auto pos = good.find("b 1");
+  auto eol = good.find('\n', pos);
+  std::string bad = good;
+  bad.erase(pos, eol - pos + 1);
+  {
+    std::istringstream is(bad);
+    EXPECT_THROW((void)core::load_quant_mlp(is), std::invalid_argument);
+  }
+  // Missing layer header line (would silently keep default qrelu shift).
+  pos = good.find("layer 1");
+  eol = good.find('\n', pos);
+  bad = good;
+  bad.erase(pos, eol - pos + 1);
+  {
+    std::istringstream is(bad);
+    EXPECT_THROW((void)core::load_quant_mlp(is), std::invalid_argument);
+  }
+}
+
+TEST(SerializeArtifacts, BaselinePricingRoundTripAndRejects) {
+  mlp::FloatMlp fnet(mlp::Topology{{4, 3, 2}}, 9);
+  core::BaselinePricing p;
+  p.net = mlp::QuantMlp::from_float(fnet);
+  p.cost.area_mm2 = 123.5;
+  p.cost.power_uw = 4.5e3;
+  p.cost.critical_delay_us = 7.25;
+  p.cost.cell_count = 999;
+  p.train_accuracy = 0.875;
+  p.test_accuracy = 0.8333333333333333;
+
+  const auto r = round_trip(p, core::save_baseline_pricing,
+                            core::load_baseline_pricing);
+  EXPECT_EQ(r.cost.area_mm2, p.cost.area_mm2);
+  EXPECT_EQ(r.cost.power_uw, p.cost.power_uw);
+  EXPECT_EQ(r.cost.critical_delay_us, p.cost.critical_delay_us);
+  EXPECT_EQ(r.cost.cell_count, p.cost.cell_count);
+  EXPECT_EQ(r.train_accuracy, p.train_accuracy);
+  EXPECT_EQ(r.test_accuracy, p.test_accuracy);
+  ASSERT_EQ(r.net.topology().layers, p.net.topology().layers);
+  EXPECT_EQ(r.net.layers()[0].weights, p.net.layers()[0].weights);
+  EXPECT_EQ(r.net.layers()[1].qrelu_shift, p.net.layers()[1].qrelu_shift);
+
+  const auto good = dump(p, [](const auto& v, auto& os) {
+    core::save_baseline_pricing(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_baseline_pricing(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-baseline v2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  std::string bad = good;
+  bad.replace(bad.find(" 999"), 4, " -12");  // negative cell count
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+TEST(SerializeArtifacts, DatasetDigestDetectsChanges) {
+  const auto d = tiny_dataset();
+  auto d2 = d;
+  EXPECT_EQ(core::dataset_digest(d), core::dataset_digest(d2));
+  d2.features[0] += 1e-16;
+  EXPECT_NE(core::dataset_digest(d), core::dataset_digest(d2));
+  auto d3 = d;
+  d3.labels[0] = 1;
+  EXPECT_NE(core::dataset_digest(d), core::dataset_digest(d3));
+  auto d4 = d;
+  d4.name = "other";
+  EXPECT_NE(core::dataset_digest(d), core::dataset_digest(d4));
+}
+
 // ------------------------------------------------------------------ refine
 
 namespace {

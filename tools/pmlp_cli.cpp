@@ -3,16 +3,24 @@
 //   pmlp list                         datasets and Table I topologies
 //   pmlp metrics <dataset>            dataset diagnostics (priors, Fisher)
 //   pmlp baseline <dataset>           exact bespoke baseline cost/accuracy
-//   pmlp train <dataset> [pop] [gens] [model-out]
-//                                     full Fig. 2 flow; saves the Table II
+//   pmlp run <dataset> [pop] [gens] [model-out]
+//                                     staged FlowEngine pipeline with
+//                                     per-stage progress; saves the Table II
 //                                     pick as a .model file, prints front
+//   pmlp resume <dataset> [pop] [gens] [model-out]
+//                                     like run, but requires an existing
+//                                     --checkpoint DIR and continues from
+//                                     whatever stages are already on disk
+//   pmlp train <dataset> [pop] [gens] [model-out]
+//                                     legacy alias of run (no progress lines)
 //   pmlp evaluate <model> <dataset>   re-score a saved model (acc, area,
 //                                     power, feasibility zone @1V/0.6V)
 //   pmlp export <model> <dataset> <out-prefix>
 //                                     Verilog DUT + self-checking testbench
 //
 // Global options:
-//   --threads N                       parallel GA fitness evaluation
+//   --threads N                       flow-wide parallelism: GA fitness
+//                                     evaluation and hardware analysis
 //                                     (0 = all hardware threads, the
 //                                     default; 1 = serial; bit-identical
 //                                     results for any setting)
@@ -20,20 +28,33 @@
 //                                     evaluation engine (entries; 0 = off;
 //                                     default 4096; bit-identical results
 //                                     for any setting)
+//   --checkpoint DIR                  persist every stage artifact under
+//                                     DIR; a later run/resume with the same
+//                                     dataset and config continues from the
+//                                     completed stages bit-identically
+//   --json FILE                       machine-readable FlowResult report
+//                                     (stages, counters, every evaluated
+//                                     point, the pick); "-" = stdout
+//   --save-front DIR                  dump every true-Pareto model into DIR
+//                                     (front_NNN.model) plus an index.tsv
+//                                     with accuracy/area/power per design
 //
 // Datasets are the synthetic paper suite; swap in real UCI files by loading
 // through pmlp::datasets::load_uci in your own driver.
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
 
-#include "pmlp/core/flow.hpp"
+#include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/serialize.hpp"
+#include "pmlp/core/suite.hpp"
 #include "pmlp/datasets/metrics.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/hwmodel/power.hpp"
@@ -46,19 +67,11 @@ namespace {
 
 using namespace pmlp;
 
-datasets::SyntheticSpec find_spec(const std::string& name) {
-  for (const auto& s : datasets::paper_suite()) {
-    if (s.name == name) return s;
-  }
-  throw std::runtime_error("unknown dataset '" + name +
-                           "'; try: pmlp list");
-}
-
 int cmd_list() {
   std::cout << "dataset        topology   samples  classes  baseline-acc "
                "(paper)\n";
   for (const auto& row : mlp::paper_table1()) {
-    const auto spec = find_spec(row.dataset);
+    const auto spec = core::find_paper_spec(row.dataset);
     std::cout << row.dataset;
     for (std::size_t i = row.dataset.size(); i < 15; ++i) std::cout << ' ';
     std::cout << row.topology.to_string() << "   " << spec.n_samples
@@ -69,7 +82,7 @@ int cmd_list() {
 }
 
 int cmd_metrics(const std::string& dataset) {
-  const auto d = datasets::generate(find_spec(dataset));
+  const auto d = core::load_paper_dataset(dataset);
   const auto m = datasets::compute_metrics(d);
   std::cout << dataset << ": " << d.size() << " samples, " << d.n_features
             << " features, " << d.n_classes << " classes\n";
@@ -83,8 +96,11 @@ int cmd_metrics(const std::string& dataset) {
   return 0;
 }
 
-int g_threads = 0;  // --threads: 0 = all hardware threads
-int g_cache = -1;   // --cache: -1 = keep the ProblemConfig default
+int g_threads = 0;             // --threads: 0 = all hardware threads
+int g_cache = -1;              // --cache: -1 = keep the ProblemConfig default
+std::string g_checkpoint;      // --checkpoint DIR
+std::string g_json;            // --json FILE ("-" = stdout)
+std::string g_save_front;      // --save-front DIR
 
 core::FlowConfig default_flow(int pop, int gens) {
   core::FlowConfig cfg;
@@ -98,9 +114,9 @@ core::FlowConfig default_flow(int pop, int gens) {
 
 int cmd_baseline(const std::string& dataset) {
   const auto& row = mlp::paper_row(dataset);
-  const auto artifacts = core::build_baseline(
-      datasets::generate(find_spec(dataset)), row.topology,
-      default_flow(8, 1));
+  core::FlowEngine engine(core::load_paper_dataset(dataset), row.topology,
+                          default_flow(8, 1));
+  const auto artifacts = engine.baseline_artifacts();
   std::cout << dataset << " exact bespoke baseline [2]:\n"
             << "  accuracy  " << artifacts.baseline_test_accuracy
             << " (paper " << row.accuracy << ")\n"
@@ -111,41 +127,107 @@ int cmd_baseline(const std::string& dataset) {
   return 0;
 }
 
-int cmd_train(const std::string& dataset, int pop, int gens,
-              const std::string& model_out) {
+void save_front(const core::FlowResult& result, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::ofstream index(std::filesystem::path(dir) / "index.tsv");
+  if (!index) {
+    throw std::runtime_error("cannot write " + dir + "/index.tsv");
+  }
+  index << "file\ttest_accuracy\tarea_cm2\tpower_mw\tfunctional_match\n";
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    const auto& p = result.front[i];
+    char name[32];
+    std::snprintf(name, sizeof name, "front_%03zu.model", i);
+    core::save_model_file(p.model,
+                          (std::filesystem::path(dir) / name).string());
+    index << name << '\t' << p.test_accuracy << '\t' << p.cost.area_cm2()
+          << '\t' << p.cost.power_mw() << '\t'
+          << (p.functional_match ? 1 : 0) << '\n';
+  }
+  std::cerr << "saved " << result.front.size() << " front designs + index to "
+            << dir << "\n";
+}
+
+int cmd_run(const std::string& dataset, int pop, int gens,
+            const std::string& model_out, bool is_resume, bool legacy) {
   const auto& row = mlp::paper_row(dataset);
+  if (is_resume) {
+    if (g_checkpoint.empty()) {
+      std::cerr << "error: resume requires --checkpoint DIR\n";
+      return 2;
+    }
+    if (!std::filesystem::exists(std::filesystem::path(g_checkpoint) /
+                                 "meta.txt")) {
+      std::cerr << "error: no checkpoint found in " << g_checkpoint << "\n";
+      return 2;
+    }
+  }
   std::cerr << "training " << dataset << " " << row.topology.to_string()
             << " with NSGA-II " << pop << "x" << gens << "...\n";
-  const auto result = core::run_flow(datasets::generate(find_spec(dataset)),
-                                     row.topology, default_flow(pop, gens));
-  std::cout << "baseline: acc " << result.baseline.baseline_test_accuracy
-            << ", " << result.baseline.baseline_cost.area_cm2() << " cm2, "
-            << result.baseline.baseline_cost.power_mw() << " mW\n";
-  std::cout << "GA engine: " << result.training.evaluations << " evals in "
-            << result.training.wall_seconds << " s ("
-            << result.training.evals_per_second
-            << " evals/s, cache hit rate "
-            << result.training.cache_hit_rate << ")\n";
-  std::cout << "true Pareto front (" << result.front.size() << " points):\n";
-  std::cout << "  acc       area-cm2   power-mW   verified\n";
-  for (const auto& p : result.front) {
-    std::cout << "  " << p.test_accuracy << "   " << p.cost.area_cm2()
-              << "   " << p.cost.power_mw() << "   "
-              << (p.functional_match ? "yes" : "NO") << "\n";
+
+  core::FlowEngine engine(core::load_paper_dataset(dataset), row.topology,
+                          default_flow(pop, gens));
+  if (!g_checkpoint.empty()) engine.set_checkpoint_dir(g_checkpoint);
+  if (!legacy) {
+    engine.set_progress([](const core::StageReport& r) {
+      std::cerr << "  stage " << core::flow_stage_name(r.stage) << ": "
+                << r.wall_seconds << " s, " << r.items << " items"
+                << (r.reused ? " (reused)" : "") << "\n";
+    });
   }
+  const auto result = engine.run();
+
+  const bool json_stdout = g_json == "-";
+  if (!json_stdout) {
+    std::cout << "baseline: acc " << result.baseline.baseline_test_accuracy
+              << ", " << result.baseline.baseline_cost.area_cm2() << " cm2, "
+              << result.baseline.baseline_cost.power_mw() << " mW\n";
+    std::cout << "GA engine: " << result.training.evaluations << " evals in "
+              << result.training.wall_seconds << " s ("
+              << result.training.evals_per_second
+              << " evals/s, cache hit rate "
+              << result.training.cache_hit_rate << ")\n";
+    std::cout << "true Pareto front (" << result.front.size()
+              << " points):\n";
+    std::cout << "  acc       area-cm2   power-mW   verified\n";
+    for (const auto& p : result.front) {
+      std::cout << "  " << p.test_accuracy << "   " << p.cost.area_cm2()
+                << "   " << p.cost.power_mw() << "   "
+                << (p.functional_match ? "yes" : "NO") << "\n";
+    }
+  }
+  if (!g_json.empty()) {
+    if (json_stdout) {
+      core::write_flow_report_json(result, dataset, row.topology, std::cout);
+    } else {
+      std::ofstream os(g_json);
+      if (!os) {
+        std::cerr << "error: cannot write " << g_json << "\n";
+        return 1;
+      }
+      core::write_flow_report_json(result, dataset, row.topology, os);
+      std::cerr << "wrote " << g_json << "\n";
+    }
+  }
+  if (!g_save_front.empty()) save_front(result, g_save_front);
+
   if (!result.best) {
-    std::cout << "no design within 5% loss at this budget; raise gens\n";
+    if (!json_stdout) {
+      std::cout << "no design within 5% loss at this budget; raise gens\n";
+    }
     return 1;
   }
-  std::cout << "pick (min area within 5% loss): acc "
-            << result.best->test_accuracy << ", "
-            << result.best->cost.area_cm2() << " cm2 ("
-            << result.area_reduction << "x), "
-            << result.best->cost.power_mw() << " mW ("
-            << result.power_reduction << "x)\n";
+  if (!json_stdout) {
+    std::cout << "pick (min area within 5% loss): acc "
+              << result.best->test_accuracy << ", "
+              << result.best->cost.area_cm2() << " cm2 ("
+              << result.area_reduction << "x), "
+              << result.best->cost.power_mw() << " mW ("
+              << result.power_reduction << "x)\n";
+  }
   if (!model_out.empty()) {
     core::save_model_file(result.best->model, model_out);
-    std::cout << "saved " << model_out << "\n";
+    if (!json_stdout) std::cout << "saved " << model_out << "\n";
   }
   return 0;
 }
@@ -153,10 +235,9 @@ int cmd_train(const std::string& dataset, int pop, int gens,
 /// Rebuild evaluation data exactly as the training flow splits it.
 datasets::QuantizedDataset test_split(const std::string& dataset,
                                       const core::FlowConfig& cfg) {
-  const auto data = datasets::generate(find_spec(dataset));
-  auto split =
-      datasets::stratified_split(data, cfg.train_fraction, cfg.split_seed);
-  return datasets::quantize_inputs(split.test, cfg.trainer.bits.input_bits);
+  core::FlowEngine engine(core::load_paper_dataset(dataset),
+                          core::paper_topology(dataset), cfg);
+  return engine.split().test;
 }
 
 int cmd_evaluate(const std::string& model_path, const std::string& dataset) {
@@ -216,8 +297,9 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
 }
 
 int usage() {
-  std::cerr << "usage: pmlp [--threads N] [--cache N] "
-               "<list|metrics|baseline|train|evaluate|export> "
+  std::cerr << "usage: pmlp [--threads N] [--cache N] [--checkpoint DIR] "
+               "[--json FILE] [--save-front DIR] "
+               "<list|metrics|baseline|run|resume|train|evaluate|export> "
                "[args...]\n(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
 }
@@ -252,6 +334,22 @@ int main(int argc, char** argv) {
       const int v = parse_nonneg(flag, argv[++i]);
       if (v < 0) return usage();
       (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 ||
+               std::strcmp(argv[i], "--json") == 0 ||
+               std::strcmp(argv[i], "--save-front") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        return usage();
+      }
+      const std::string value = argv[++i];
+      if (std::strcmp(flag, "--checkpoint") == 0) {
+        g_checkpoint = value;
+      } else if (std::strcmp(flag, "--json") == 0) {
+        g_json = value;
+      } else {
+        g_save_front = value;
+      }
     } else {
       args.emplace_back(argv[i]);
     }
@@ -263,11 +361,12 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "metrics" && n >= 2) return cmd_metrics(args[1]);
     if (cmd == "baseline" && n >= 2) return cmd_baseline(args[1]);
-    if (cmd == "train" && n >= 2) {
+    if ((cmd == "run" || cmd == "resume" || cmd == "train") && n >= 2) {
       const int pop = n >= 3 ? std::atoi(args[2].c_str()) : 80;
       const int gens = n >= 4 ? std::atoi(args[3].c_str()) : 200;
       const std::string out = n >= 5 ? args[4] : "";
-      return cmd_train(args[1], pop, gens, out);
+      return cmd_run(args[1], pop, gens, out, cmd == "resume",
+                     cmd == "train");
     }
     if (cmd == "evaluate" && n >= 3) return cmd_evaluate(args[1], args[2]);
     if (cmd == "export" && n >= 4)

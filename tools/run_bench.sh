@@ -2,7 +2,9 @@
 # Run the Table III runtime benchmark and emit BENCH_table3.json so PRs can
 # track a perf trajectory. Runs the benchmark twice — serial (PMLP_THREADS=1)
 # and parallel (PMLP_THREADS=0, i.e. all hardware threads) — and records
-# per-dataset trainer seconds plus the aggregate parallel speedup.
+# per-dataset trainer seconds, the per-stage FlowEngine wall times (split,
+# backprop, baseline, GA, refine, hardware analysis, select), the
+# hardware-analysis speedup, and the aggregate GA parallel speedup.
 #
 # Usage: tools/run_bench.sh [build-dir] [out.json]
 # Scale knobs (forwarded to the bench): PMLP_POP, PMLP_GENS, PMLP_EPOCHS,
@@ -22,8 +24,9 @@ export PMLP_POP="${PMLP_POP:-24}"
 export PMLP_GENS="${PMLP_GENS:-10}"
 export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
 
-# Prints dataset rows as "name grad_s ga_s gaaxc_s" plus one final
-# "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, with the paper's
+# Prints dataset rows as "name grad_s ga_s gaaxc_s", one final
+# "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, per-stage
+# "STAGE name seconds" rows and a "HWCAND n" row, with the paper's
 # parenthesized reference minutes stripped.
 run_once() {
   PMLP_THREADS="$1" "$BENCH" |
@@ -31,7 +34,11 @@ run_once() {
     awk '$1 ~ /^(BreastCancer|Cardio|Pendigits|RedWine|WhiteWine)$/ \
          {printf "%s %s %s %s\n", $1, $2, $3, $4}
          $1 == "Throughput:" \
-         {printf "THROUGHPUT %s %s %s\n", $2, $5, $11}'
+         {printf "THROUGHPUT %s %s %s\n", $2, $5, $11}
+         $1 == "StageWall" \
+         {printf "STAGE %s %s\n", $2, $3}
+         $1 == "HwCandidates" \
+         {printf "HWCAND %s\n", $2}'
 }
 
 echo "running bench_table3_runtime serial (PMLP_THREADS=1)..." >&2
@@ -43,7 +50,7 @@ python3 - "$OUT" <<PY
 import json, os, sys
 
 def parse(block):
-    rows, perf = {}, {}
+    rows, perf, stages, hw_cand = {}, {}, {}, 0
     for line in block.strip().splitlines():
         fields = line.split()
         if fields[0] == "THROUGHPUT":
@@ -51,15 +58,23 @@ def parse(block):
                     "total_evals": int(fields[2]),
                     "cache_hit_rate": float(fields[3])}
             continue
+        if fields[0] == "STAGE":
+            stages[fields[1]] = float(fields[2])
+            continue
+        if fields[0] == "HWCAND":
+            hw_cand = int(fields[1])
+            continue
         name, grad, ga, axc = fields
         rows[name] = {"grad_s": float(grad), "ga_s": float(ga),
                       "gaaxc_s": float(axc)}
-    return rows, perf
+    return rows, perf, stages, hw_cand
 
-serial, serial_perf = parse("""$SERIAL""")
-parallel, parallel_perf = parse("""$PARALLEL""")
+serial, serial_perf, serial_stages, hw_cand = parse("""$SERIAL""")
+parallel, parallel_perf, parallel_stages, _ = parse("""$PARALLEL""")
 total_serial = sum(r["gaaxc_s"] + r["ga_s"] for r in serial.values())
 total_parallel = sum(r["gaaxc_s"] + r["ga_s"] for r in parallel.values())
+hw_serial = serial_stages.get("hardware", 0.0)
+hw_parallel = parallel_stages.get("hardware", 0.0)
 doc = {
     "bench": "table3_runtime",
     "hardware_threads": os.cpu_count(),
@@ -70,6 +85,17 @@ doc = {
     "ga_total_serial_s": round(total_serial, 3),
     "ga_total_parallel_s": round(total_parallel, 3),
     "parallel_speedup": round(total_serial / max(total_parallel, 1e-9), 3),
+    # FlowEngine per-stage wall times (seconds summed over the 5 datasets)
+    # for the serial and all-hardware-threads runs.
+    "flow_stages": {"serial": serial_stages, "parallel": parallel_stages},
+    # The right half of Fig. 2: netlist build + EGFET pricing + equivalence
+    # check per candidate, fanned out over the worker pool.
+    "hardware_analysis": {
+        "candidates": hw_cand,
+        "serial_s": round(hw_serial, 4),
+        "parallel_s": round(hw_parallel, 4),
+        "speedup": round(hw_serial / max(hw_parallel, 1e-9), 3),
+    },
     # GA-AxC evaluation-engine throughput (compiled sparse inference +
     # genome memo cache); the per-PR perf trajectory figure.
     "eval_throughput": {"serial": serial_perf, "parallel": parallel_perf},
