@@ -37,6 +37,7 @@ int main() {
   long axc_evals = 0, axc_cache_hits = 0;
   std::map<std::string, double> stage_walls;  // aggregated over datasets
   long hw_candidates = 0;
+  core::RefineFrontReport refine_totals;  // aggregated over datasets
   for (const auto& pr : paper) {
     // Full Fig. 2 pipeline through the FlowEngine (GA seeded like the old
     // bench: default_trainer_config(2)); its stage reports provide the
@@ -49,6 +50,11 @@ int main() {
       stage_walls[core::flow_stage_name(s.stage)] += s.wall_seconds;
       if (s.stage == core::FlowStage::kHardware) hw_candidates += s.items;
     }
+    refine_totals.points += flow.refine.points;
+    refine_totals.trials += flow.refine.trials;
+    refine_totals.early_aborts += flow.refine.early_aborts;
+    refine_totals.bits_cleared += flow.refine.bits_cleared;
+    refine_totals.biases_simplified += flow.refine.biases_simplified;
     const auto& axc = flow.training;
 
     // (1) Gradient training time: a clean rerun at the same epochs budget.
@@ -102,6 +108,13 @@ int main() {
               << bench::fmt(it->second, 0, 4) << "\n";
   }
   std::cout << "HwCandidates " << hw_candidates << "\n";
+  // Incremental refine-engine accounting (also parsed by tools/run_bench.sh
+  // into the refine_stage block of BENCH_table3.json).
+  std::cout << "RefineStats trials " << refine_totals.trials << " aborts "
+            << refine_totals.early_aborts << " bits "
+            << refine_totals.bits_cleared << " biases "
+            << refine_totals.biases_simplified << " points "
+            << refine_totals.points << "\n";
   std::cout << "\nAverage: grad " << bench::fmt(sum_grad / 5, 0, 2)
             << " s, GA " << bench::fmt(sum_ga / 5, 0, 2) << " s, GA-AxC "
             << bench::fmt(sum_axc / 5, 0, 2)

@@ -26,29 +26,54 @@ ApproxMlp::ApproxMlp(const mlp::Topology& topology, const BitConfig& bits)
   }
 }
 
+int ApproxMlp::compute_qrelu_shift(int l) const {
+  const ApproxLayer& layer = layers_[static_cast<std::size_t>(l)];
+  if (!layer.qrelu) return 0;
+  const std::uint32_t in_mask =
+      static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+  std::int64_t acc_max = 0;
+  for (int o = 0; o < layer.n_out; ++o) {
+    std::int64_t pos =
+        std::max<std::int64_t>(layer.biases[static_cast<std::size_t>(o)], 0);
+    for (int i = 0; i < layer.n_in; ++i) {
+      const ApproxConn& c = layer.conn(o, i);
+      if (c.sign < 0) continue;
+      // Max of (m (.) x) << k is the (truncated) mask itself, shifted.
+      pos += static_cast<std::int64_t>(c.mask & in_mask) << c.exponent;
+    }
+    acc_max = std::max(acc_max, pos);
+  }
+  const int acc_w = bitops::bit_width_u(static_cast<std::uint64_t>(acc_max));
+  return std::max(0, acc_w - bits_.act_bits);
+}
+
 void ApproxMlp::update_qrelu_shifts() {
-  for (auto& layer : layers_) {
-    if (!layer.qrelu) {
-      layer.qrelu_shift = 0;
-      continue;
+  for (int l = 0; l < static_cast<int>(layers_.size()); ++l) {
+    layers_[static_cast<std::size_t>(l)].qrelu_shift = compute_qrelu_shift(l);
+  }
+}
+
+void ApproxMlp::forward_layer(int l, std::span<const std::int64_t> in,
+                              std::span<std::int64_t> acc,
+                              std::span<std::int64_t> act) const {
+  const ApproxLayer& layer = layers_[static_cast<std::size_t>(l)];
+  const std::uint32_t in_mask =
+      static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+  const std::int64_t act_max = (std::int64_t{1} << bits_.act_bits) - 1;
+  for (int o = 0; o < layer.n_out; ++o) {
+    std::int64_t a = layer.biases[static_cast<std::size_t>(o)];
+    for (int i = 0; i < layer.n_in; ++i) {
+      const ApproxConn& c = layer.conn(o, i);
+      const auto xi = static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)]);
+      const std::int64_t term =
+          static_cast<std::int64_t>(xi & c.mask & in_mask) << c.exponent;
+      a += c.sign < 0 ? -term : term;
     }
-    const std::uint32_t in_mask =
-        static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
-    std::int64_t acc_max = 0;
-    for (int o = 0; o < layer.n_out; ++o) {
-      std::int64_t pos =
-          std::max<std::int64_t>(layer.biases[static_cast<std::size_t>(o)], 0);
-      for (int i = 0; i < layer.n_in; ++i) {
-        const ApproxConn& c = layer.conn(o, i);
-        if (c.sign < 0) continue;
-        // Max of (m (.) x) << k is the (truncated) mask itself, shifted.
-        pos += static_cast<std::int64_t>(c.mask & in_mask) << c.exponent;
-      }
-      acc_max = std::max(acc_max, pos);
+    acc[static_cast<std::size_t>(o)] = a;
+    if (layer.qrelu) {
+      a = a <= 0 ? 0 : std::min(a >> layer.qrelu_shift, act_max);
     }
-    const int acc_w =
-        bitops::bit_width_u(static_cast<std::uint64_t>(acc_max));
-    layer.qrelu_shift = std::max(0, acc_w - bits_.act_bits);
+    act[static_cast<std::size_t>(o)] = a;
   }
 }
 
@@ -58,26 +83,10 @@ std::vector<std::int64_t> ApproxMlp::forward(
     throw std::invalid_argument("ApproxMlp::forward: bad input size");
   }
   std::vector<std::int64_t> act(x.begin(), x.end());
-  const std::int64_t act_max = (std::int64_t{1} << bits_.act_bits) - 1;
-
-  for (const auto& layer : layers_) {
-    const std::uint32_t in_mask =
-        static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
-    std::vector<std::int64_t> next(static_cast<std::size_t>(layer.n_out));
-    for (int o = 0; o < layer.n_out; ++o) {
-      std::int64_t acc = layer.biases[static_cast<std::size_t>(o)];
-      for (int i = 0; i < layer.n_in; ++i) {
-        const ApproxConn& c = layer.conn(o, i);
-        const auto xi = static_cast<std::uint32_t>(act[static_cast<std::size_t>(i)]);
-        const std::int64_t term =
-            static_cast<std::int64_t>(xi & c.mask & in_mask) << c.exponent;
-        acc += c.sign < 0 ? -term : term;
-      }
-      if (layer.qrelu) {
-        acc = acc <= 0 ? 0 : std::min(acc >> layer.qrelu_shift, act_max);
-      }
-      next[static_cast<std::size_t>(o)] = acc;
-    }
+  for (int l = 0; l < static_cast<int>(layers_.size()); ++l) {
+    std::vector<std::int64_t> next(
+        static_cast<std::size_t>(layers_[static_cast<std::size_t>(l)].n_out));
+    forward_layer(l, act, next, next);
     act = std::move(next);
   }
   return act;

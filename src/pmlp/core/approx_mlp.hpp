@@ -81,6 +81,21 @@ class ApproxMlp {
   /// parameters; decode()/builders call it automatically.
   void update_qrelu_shifts();
 
+  /// The QReLU shift update_qrelu_shifts() would assign to layer `l` under
+  /// the current parameters, without modifying the net. Editing one layer's
+  /// masks/biases only changes that layer's shift, so incremental editors
+  /// (the refine engine) re-derive a single layer instead of all of them.
+  [[nodiscard]] int compute_qrelu_shift(int l) const;
+
+  /// One layer of Eq. 4: accumulators (bias + masked shifted terms) into
+  /// `acc`, activations (QReLU, or the raw accumulator on the output layer)
+  /// into `act`. `act` may alias `acc` for in-place activation. Spans must
+  /// be sized n_in / n_out of layer `l`. Bit-identical to the corresponding
+  /// slice of forward().
+  void forward_layer(int l, std::span<const std::int64_t> in,
+                     std::span<std::int64_t> acc,
+                     std::span<std::int64_t> act) const;
+
   /// Eq. 4 integer inference; returns output-layer accumulators.
   [[nodiscard]] std::vector<std::int64_t> forward(
       std::span<const std::uint8_t> x) const;

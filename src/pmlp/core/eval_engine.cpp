@@ -84,15 +84,7 @@ std::span<const std::int64_t> CompiledNet::forward(
 
 int CompiledNet::predict(std::span<const std::uint8_t> x,
                          EvalWorkspace& ws) const {
-  const auto logits = forward(x, ws);
-  int best = 0;
-  for (int k = 1; k < n_outputs_; ++k) {
-    if (logits[static_cast<std::size_t>(k)] >
-        logits[static_cast<std::size_t>(best)]) {
-      best = k;
-    }
-  }
-  return best;
+  return argmax_first(forward(x, ws));
 }
 
 double CompiledNet::accuracy(const datasets::QuantizedDataset& d,

@@ -36,6 +36,21 @@
 
 namespace pmlp::core {
 
+/// First-maximum argmax over integer logits — the tie-breaking rule of
+/// ApproxMlp::predict (std::max_element). Shared by CompiledNet::predict and
+/// the refine engine's memoized scan so every inference path classifies
+/// identically.
+[[nodiscard]] inline int argmax_first(std::span<const std::int64_t> logits) {
+  int best = 0;
+  for (int k = 1; k < static_cast<int>(logits.size()); ++k) {
+    if (logits[static_cast<std::size_t>(k)] >
+        logits[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
 /// One active (non-fully-pruned) connection, flattened for the sample loop.
 struct CompiledConn {
   std::int32_t in = 0;       ///< input index within the layer

@@ -26,9 +26,9 @@ struct FlowConfig {
   mlp::BackpropConfig backprop;    ///< float/gradient training
   TrainerConfig trainer;           ///< GA-AxC; trainer.n_threads is the
                                    ///< flow-wide parallelism knob (0 = auto),
-                                   ///< applied to both the GA engine and the
-                                   ///< hardware-analysis stage, and
-                                   ///< trainer.problem.eval_cache_capacity
+                                   ///< applied to the GA engine, the refine
+                                   ///< stage and the hardware-analysis stage,
+                                   ///< and trainer.problem.eval_cache_capacity
                                    ///< the genome memo-cache size (0 = off) —
                                    ///< both bit-identical for any setting
   bool refine = true;              ///< greedy post-GA refinement extension
@@ -104,6 +104,9 @@ struct BaselineArtifacts {
 struct FlowResult {
   BaselineArtifacts baseline;
   TrainingResult training;
+  /// Refine-stage counters (zeros when the stage was disabled, injected or
+  /// reloaded from a checkpoint — the counters are not checkpointed).
+  RefineFrontReport refine;
   std::vector<HwEvaluatedPoint> evaluated;  ///< all candidates, priced
   std::vector<HwEvaluatedPoint> front;      ///< true Pareto subset
   /// Table II pick: min-area design within report_max_loss of the

@@ -387,9 +387,12 @@ void FlowEngine::stage_refine() {
     return;
   }
 
-  refine_front(training_->estimated_pareto, split_->train,
-               pricing_->train_accuracy, config_.refine_max_point_loss,
-               config_.trainer.problem.max_accuracy_loss);
+  // The flow-wide parallelism knob drives the per-point refine fan-out too.
+  refine_report_ =
+      refine_front(training_->estimated_pareto, split_->train,
+                   pricing_->train_accuracy, config_.refine_max_point_loss,
+                   config_.trainer.problem.max_accuracy_loss,
+                   config_.trainer.n_threads);
   refined_ = true;
   if (!checkpoint_dir_.empty()) {
     write_artifact(path("refined_front.txt"), [&](std::ostream& os) {
@@ -516,6 +519,7 @@ FlowResult FlowEngine::assemble(bool move_out) {
   }
   // assemble_baseline last: the select stage above reads pricing_.
   result.baseline = assemble_baseline(move_out);
+  result.refine = refine_report_;
   result.area_reduction = selection_->area_reduction;
   result.power_reduction = selection_->power_reduction;
   result.stages = stages_;
@@ -596,6 +600,13 @@ void write_flow_report_json(const FlowResult& result,
        << ",\"cache_hits\":" << result.training.cache_hits
        << ",\"cache_hit_rate\":" << result.training.cache_hit_rate
        << ",\"front_size\":" << result.training.estimated_pareto.size()
+       << "}";
+  body << ",\"refine\":{\"points\":" << result.refine.points
+       << ",\"trials\":" << result.refine.trials
+       << ",\"early_aborts\":" << result.refine.early_aborts
+       << ",\"early_abort_rate\":" << result.refine.early_abort_rate()
+       << ",\"bits_cleared\":" << result.refine.bits_cleared
+       << ",\"biases_simplified\":" << result.refine.biases_simplified
        << "}";
   body << ",\"evaluated\":[";
   for (std::size_t i = 0; i < result.evaluated.size(); ++i) {

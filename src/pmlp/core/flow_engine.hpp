@@ -135,6 +135,9 @@ class FlowEngine {
   std::optional<BaselinePricing> pricing_;
   std::optional<TrainingResult> training_;
   bool refined_ = false;
+  /// Counters of a refine stage executed in this process (zeros when the
+  /// stage was reloaded from a checkpoint or disabled).
+  RefineFrontReport refine_report_;
   std::optional<std::vector<HwEvaluatedPoint>> evaluated_;
   std::optional<Selection> selection_;
 

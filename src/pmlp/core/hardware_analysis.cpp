@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/pareto.hpp"
 #include "pmlp/core/thread_pool.hpp"
 #include "pmlp/netlist/builders.hpp"
@@ -11,12 +12,21 @@ namespace pmlp::core {
 
 namespace {
 
+/// Candidates per worker below which the pool fan-out is skipped: spawning
+/// workers for a couple of netlist builds costs more than it saves (the
+/// measured tiny-n "speedup" was < 1). Results are identical either way.
+constexpr std::size_t kMinCandidatesPerWorker = 2;
+
 /// Build/price/verify one candidate — pure function of its inputs, so the
-/// parallel fan-out below is bit-identical to the serial loop.
+/// parallel fan-out below is bit-identical to the serial loop. Model
+/// predictions run through the compiled sparse engine (bit-identical to
+/// ApproxMlp::predict, much faster per sample); `ws` is the calling
+/// worker's reusable workspace.
 HwEvaluatedPoint evaluate_candidate(const EstimatedPoint& cand,
                                     const datasets::QuantizedDataset& test,
                                     const hwmodel::CellLibrary& lib,
-                                    const HardwareAnalysisConfig& cfg) {
+                                    const HardwareAnalysisConfig& cfg,
+                                    EvalWorkspace& ws) {
   HwEvaluatedPoint p;
   p.model = cand.model;
   p.fa_area = cand.fa_area;
@@ -34,9 +44,10 @@ HwEvaluatedPoint evaluate_candidate(const EstimatedPoint& cand,
     n_check = std::min<std::size_t>(
         n_check, static_cast<std::size_t>(cfg.equivalence_samples));
   }
+  const CompiledNet net(cand.model);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const int model_pred = cand.model.predict(test.row(i));
+    const int model_pred = net.predict(test.row(i), ws);
     if (i < n_check && circuit.predict(test.row(i)) != model_pred) {
       p.functional_match = false;
     }
@@ -55,23 +66,30 @@ std::vector<HwEvaluatedPoint> evaluate_hardware(
     const datasets::QuantizedDataset& test, const hwmodel::CellLibrary& lib,
     const HardwareAnalysisConfig& cfg) {
   std::vector<HwEvaluatedPoint> out(candidates.size());
-  const int n_threads = std::min<int>(resolve_n_threads(cfg.n_threads),
-                                      static_cast<int>(candidates.size()));
+  // Small-n serial fallback: never hand a worker fewer candidates than
+  // dispatch can amortize, and skip pool construction when that leaves a
+  // single worker.
+  const int n_threads = std::min<int>(
+      resolve_n_threads(cfg.n_threads),
+      static_cast<int>(candidates.size() / kMinCandidatesPerWorker));
   if (n_threads <= 1) {
+    EvalWorkspace ws;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      out[i] = evaluate_candidate(candidates[i], test, lib, cfg);
+      out[i] = evaluate_candidate(candidates[i], test, lib, cfg, ws);
     }
   } else {
     // Each worker fills its own static chunk of the output, so the result
     // vector is index-addressed and independent of scheduling.
     ThreadPool pool(n_threads);
-    pool.parallel_for(candidates.size(),
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                          out[i] = evaluate_candidate(candidates[i], test,
-                                                      lib, cfg);
-                        }
-                      });
+    pool.parallel_for(
+        candidates.size(),
+        [&](std::size_t begin, std::size_t end) {
+          EvalWorkspace ws;
+          for (std::size_t i = begin; i < end; ++i) {
+            out[i] = evaluate_candidate(candidates[i], test, lib, cfg, ws);
+          }
+        },
+        kMinCandidatesPerWorker);
   }
   return out;
 }

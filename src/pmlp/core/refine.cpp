@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "pmlp/bitops/bitops.hpp"
+#include "pmlp/core/refine_engine.hpp"
+#include "pmlp/core/thread_pool.hpp"
 
 namespace pmlp::core {
 
@@ -31,11 +33,88 @@ std::int64_t simplify_bias(std::int64_t b) {
   return neg ? -out : out;
 }
 
+/// The bias candidate the greedy loop tries for neuron (layer, o), or the
+/// current bias when simplification leaves range (simplify_bias rounds up
+/// and can exceed e.g. 12-bit biases: 1983 -> 2048, which load_model then
+/// rejects; clamping instead could yield MORE set bits, defeating the pass).
+std::int64_t bias_candidate(const ApproxMlp& net, const ApproxLayer& layer,
+                            int o) {
+  const std::int64_t bias = layer.biases[static_cast<std::size_t>(o)];
+  std::int64_t candidate = simplify_bias(bias);
+  if (candidate < net.bits().bias_min() || candidate > net.bits().bias_max()) {
+    candidate = bias;
+  }
+  return candidate;
+}
+
 }  // namespace
 
 RefineReport refine_greedy(ApproxMlp& net,
                            const datasets::QuantizedDataset& train,
                            const RefineConfig& cfg) {
+  RefineReport report;
+  report.fa_before = net.fa_area();
+  RefineEngine engine(net, train);
+  report.accuracy_before = engine.accuracy_before();
+
+  double current_acc = report.accuracy_before;
+  const int n_layers = static_cast<int>(net.layers().size());
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    bool changed = false;
+    for (int l = 0; l < n_layers; ++l) {
+      auto& layer = net.layers()[static_cast<std::size_t>(l)];
+      const auto width_mask =
+          static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+      for (int o = 0; o < layer.n_out; ++o) {
+        for (int i = 0; i < layer.n_in; ++i) {
+          std::uint32_t remaining = layer.conn(o, i).mask & width_mask;
+          while (remaining != 0) {
+            // Clear the least significant retained bit first: it carries
+            // the least signal and sits in the cheapest column, so if any
+            // bit can go, this one is the most likely.
+            const int bit = std::countr_zero(remaining);
+            remaining &= remaining - 1;
+            const auto acc = engine.try_clear_mask_bit(
+                l, o, i, bit,
+                std::max(cfg.accuracy_floor, current_acc - 0.002));
+            if (acc) {
+              current_acc = std::max(current_acc, *acc);
+              report.bits_cleared += 1;
+              changed = true;
+            }
+          }
+        }
+        if (cfg.refine_biases) {
+          const std::int64_t bias =
+              layer.biases[static_cast<std::size_t>(o)];
+          const std::int64_t candidate = bias_candidate(net, layer, o);
+          if (candidate != bias) {
+            const auto acc = engine.try_set_bias(
+                l, o, candidate,
+                std::max(cfg.accuracy_floor, current_acc - 0.002));
+            if (acc) {
+              current_acc = std::max(current_acc, *acc);
+              report.biases_simplified += 1;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    report.passes = pass + 1;
+    if (!changed) break;
+  }
+  net.update_qrelu_shifts();
+  report.fa_after = net.fa_area();
+  report.accuracy_after = engine.accuracy();
+  report.trials = engine.stats().trials;
+  report.early_aborts = engine.stats().early_aborts;
+  return report;
+}
+
+RefineReport refine_greedy_naive(ApproxMlp& net,
+                                 const datasets::QuantizedDataset& train,
+                                 const RefineConfig& cfg) {
   RefineReport report;
   report.fa_before = net.fa_area();
   report.accuracy_before = accuracy(net, train);
@@ -51,15 +130,13 @@ RefineReport refine_greedy(ApproxMlp& net,
           ApproxConn& c = layer.conn(o, i);
           std::uint32_t remaining = c.mask & width_mask;
           while (remaining != 0) {
-            // Clear the least significant retained bit first: it carries
-            // the least signal and sits in the cheapest column, so if any
-            // bit can go, this one is the most likely.
             const int bit = std::countr_zero(remaining);
             remaining &= remaining - 1;
             const std::uint32_t saved = c.mask;
             c.mask = static_cast<std::uint32_t>(
                 bitops::set_bit(c.mask, bit, false));
             net.update_qrelu_shifts();
+            report.trials += 1;
             const double acc = accuracy(net, train);
             if (acc + 1e-12 >= cfg.accuracy_floor &&
                 acc + 1e-12 >= current_acc - 0.002) {
@@ -73,19 +150,12 @@ RefineReport refine_greedy(ApproxMlp& net,
         }
         if (cfg.refine_biases) {
           auto& bias = layer.biases[static_cast<std::size_t>(o)];
-          // simplify_bias rounds up and can leave the representable range
-          // (e.g. 1983 -> 2048 with 12-bit biases), which load_model then
-          // rejects; keep the original bias in that case (clamping instead
-          // could yield a value with MORE set bits, defeating the pass).
-          std::int64_t candidate = simplify_bias(bias);
-          if (candidate < net.bits().bias_min() ||
-              candidate > net.bits().bias_max()) {
-            candidate = bias;
-          }
+          const std::int64_t candidate = bias_candidate(net, layer, o);
           if (candidate != bias) {
             const std::int64_t saved = bias;
             bias = candidate;
             net.update_qrelu_shifts();
+            report.trials += 1;
             const double acc = accuracy(net, train);
             if (acc + 1e-12 >= cfg.accuracy_floor &&
                 acc + 1e-12 >= current_acc - 0.002) {
@@ -108,18 +178,50 @@ RefineReport refine_greedy(ApproxMlp& net,
   return report;
 }
 
-void refine_front(std::span<EstimatedPoint> front,
-                  const datasets::QuantizedDataset& train,
-                  double baseline_train_accuracy, double max_point_loss,
-                  double max_total_loss) {
-  for (auto& point : front) {
+RefineFrontReport refine_front(std::span<EstimatedPoint> front,
+                               const datasets::QuantizedDataset& train,
+                               double baseline_train_accuracy,
+                               double max_point_loss, double max_total_loss,
+                               int n_threads) {
+  // Each point refines independently (own engine, own output slot), so the
+  // fan-out is bit-identical to the serial loop for any thread count.
+  const auto refine_one = [&](EstimatedPoint& point) {
     RefineConfig cfg;
     cfg.accuracy_floor = std::max(point.train_accuracy - max_point_loss,
                                   baseline_train_accuracy - max_total_loss);
-    (void)refine_greedy(point.model, train, cfg);
-    point.train_accuracy = accuracy(point.model, train);
-    point.fa_area = point.model.fa_area();
+    const RefineReport report = refine_greedy(point.model, train, cfg);
+    // accuracy_after IS accuracy(point.model, train) — no extra full pass.
+    point.train_accuracy = report.accuracy_after;
+    point.fa_area = report.fa_after;
+    return report;
+  };
+
+  std::vector<RefineReport> reports(front.size());
+  const int workers =
+      std::min<int>(resolve_n_threads(n_threads),
+                    static_cast<int>(front.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      reports[i] = refine_one(front[i]);
+    }
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(front.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        reports[i] = refine_one(front[i]);
+      }
+    });
   }
+
+  RefineFrontReport total;
+  total.points = static_cast<long>(front.size());
+  for (const auto& r : reports) {
+    total.trials += r.trials;
+    total.early_aborts += r.early_aborts;
+    total.bits_cleared += r.bits_cleared;
+    total.biases_simplified += r.biases_simplified;
+  }
+  return total;
 }
 
 }  // namespace pmlp::core

@@ -1,0 +1,301 @@
+#include "pmlp/core/refine_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pmlp/bitops/bitops.hpp"
+#include "pmlp/core/eval_engine.hpp"
+
+namespace pmlp::core {
+
+RefineEngine::RefineEngine(ApproxMlp& net,
+                           const datasets::QuantizedDataset& train)
+    : net_(net),
+      train_(train),
+      n_samples_(train.size()),
+      n_features_(train.n_features),
+      n_layers_(static_cast<int>(net.layers().size())),
+      act_max_((std::int64_t{1} << net.bits().act_bits) - 1) {
+  if (train.n_features != net.topology().n_inputs()) {
+    throw std::invalid_argument("RefineEngine: dataset/topology mismatch");
+  }
+  in0_.assign(train.codes.begin(), train.codes.end());
+  width_.resize(static_cast<std::size_t>(n_layers_));
+  shift_.resize(static_cast<std::size_t>(n_layers_));
+  acc_.resize(static_cast<std::size_t>(n_layers_));
+  act_.resize(static_cast<std::size_t>(n_layers_));
+  int max_width = 0;
+  for (int l = 0; l < n_layers_; ++l) {
+    const ApproxLayer& layer = net.layers()[static_cast<std::size_t>(l)];
+    width_[static_cast<std::size_t>(l)] = layer.n_out;
+    shift_[static_cast<std::size_t>(l)] = layer.qrelu_shift;
+    acc_[static_cast<std::size_t>(l)].resize(
+        n_samples_ * static_cast<std::size_t>(layer.n_out));
+    act_[static_cast<std::size_t>(l)].resize(
+        n_samples_ * static_cast<std::size_t>(layer.n_out));
+    max_width = std::max(max_width, layer.n_out);
+  }
+  pred_.resize(n_samples_);
+  correct_.resize(n_samples_);
+  changed_idx_.reserve(static_cast<std::size_t>(max_width));
+  next_changed_idx_.reserve(static_cast<std::size_t>(max_width));
+  changed_old_.reserve(static_cast<std::size_t>(max_width));
+  next_changed_old_.reserve(static_cast<std::size_t>(max_width));
+
+  rebuild();
+  accuracy_before_ = accuracy();
+
+  // Sync every shift to the current parameters — what the naive loop's
+  // first update_qrelu_shifts() call would do. Arriving with stale shifts
+  // is legal (accuracy_before_ already captured the stale view).
+  bool stale = false;
+  for (int l = 0; l < n_layers_; ++l) {
+    const int s = net_.compute_qrelu_shift(l);
+    if (s != shift_[static_cast<std::size_t>(l)]) {
+      net_.layers()[static_cast<std::size_t>(l)].qrelu_shift = s;
+      shift_[static_cast<std::size_t>(l)] = s;
+      stale = true;
+    }
+  }
+  if (stale) rebuild();
+}
+
+void RefineEngine::rebuild() {
+  n_correct_ = 0;
+  const int last = n_layers_ - 1;
+  for (std::size_t s = 0; s < n_samples_; ++s) {
+    for (int l = 0; l < n_layers_; ++l) {
+      const auto w = static_cast<std::size_t>(width_[static_cast<std::size_t>(l)]);
+      const auto in_w = static_cast<std::size_t>(
+          l == 0 ? n_features_ : width_[static_cast<std::size_t>(l) - 1]);
+      net_.forward_layer(l, {in_ptr(l, s), in_w}, {acc_ptr(l, s), w},
+                         {act_ptr(l, s), w});
+    }
+    const auto out_w = static_cast<std::size_t>(width_[static_cast<std::size_t>(last)]);
+    pred_[s] = argmax_first({act_ptr(last, s), out_w});
+    correct_[s] = pred_[s] == train_.labels[s] ? 1 : 0;
+    n_correct_ += correct_[s];
+  }
+}
+
+double RefineEngine::accuracy() const {
+  if (n_samples_ == 0) return 0.0;
+  return static_cast<double>(n_correct_) / static_cast<double>(n_samples_);
+}
+
+long RefineEngine::min_correct_for(double min_acc) const {
+  const long s = static_cast<long>(n_samples_);
+  // The naive accept test verbatim, as a predicate on the correct count.
+  // Monotone in c (exact integer-to-double conversion, monotone division),
+  // so the binary search finds the exact double-comparison boundary.
+  const auto passes = [&](long c) {
+    const double acc =
+        s == 0 ? 0.0 : static_cast<double>(c) / static_cast<double>(s);
+    return acc + 1e-12 >= min_acc;
+  };
+  if (!passes(s)) return s + 1;  // unreachable even with a perfect scan
+  long lo = 0, hi = s;
+  while (lo < hi) {
+    const long mid = lo + (hi - lo) / 2;
+    if (passes(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::int64_t RefineEngine::activate(const ApproxLayer& layer, int shift,
+                                    std::int64_t acc) const {
+  if (!layer.qrelu) return acc;
+  return acc <= 0 ? 0 : std::min(acc >> shift, act_max_);
+}
+
+void RefineEngine::undo_writes() {
+  for (auto it = undo_pred_.rbegin(); it != undo_pred_.rend(); ++it) {
+    if (correct_[it->sample] != it->correct) {
+      n_correct_ += it->correct ? 1 : -1;
+    }
+    pred_[it->sample] = it->pred;
+    correct_[it->sample] = it->correct;
+  }
+  for (auto it = undo_slots_.rbegin(); it != undo_slots_.rend(); ++it) {
+    *it->slot = it->old_value;
+  }
+}
+
+template <typename DeltaFn>
+std::optional<double> RefineEngine::trial(int l0, int o, bool shift_changed,
+                                          DeltaFn&& acc_delta,
+                                          double min_acc) {
+  ++stats_.trials;
+  undo_slots_.clear();
+  undo_pred_.clear();
+  const long allowed_wrong =
+      static_cast<long>(n_samples_) - min_correct_for(min_acc);
+  if (allowed_wrong < 0) {
+    ++stats_.early_aborts;
+    return std::nullopt;  // no scan can pass; nothing was written
+  }
+
+  const auto& layers = net_.layers();
+  const ApproxLayer& edited = layers[static_cast<std::size_t>(l0)];
+  const int w0 = width_[static_cast<std::size_t>(l0)];
+  const int shift0 = shift_[static_cast<std::size_t>(l0)];
+  const int last = n_layers_ - 1;
+  long wrong = 0;
+
+  for (std::size_t s = 0; s < n_samples_; ++s) {
+    const std::int64_t d = acc_delta(s);
+    if (d != 0 || shift_changed) {
+      changed_idx_.clear();
+      changed_old_.clear();
+      std::int64_t* acc0 = acc_ptr(l0, s);
+      std::int64_t* act0 = act_ptr(l0, s);
+      if (d != 0) {
+        undo_slots_.push_back({&acc0[o], acc0[o]});
+        acc0[o] += d;
+      }
+      // A shift change re-activates the whole layer from the stored
+      // accumulators (no connection walk); otherwise only neuron o moved.
+      const int first = shift_changed ? 0 : o;
+      const int stop = shift_changed ? w0 : o + 1;
+      for (int n = first; n < stop; ++n) {
+        const std::int64_t a = activate(edited, shift0, acc0[n]);
+        if (a != act0[n]) {
+          changed_idx_.push_back(n);
+          changed_old_.push_back(act0[n]);
+          undo_slots_.push_back({&act0[n], act0[n]});
+          act0[n] = a;
+        }
+      }
+
+      // Propagate the changed-activation wavefront; it dies at the first
+      // layer whose outputs are all unchanged.
+      for (int l = l0 + 1; l < n_layers_ && !changed_idx_.empty(); ++l) {
+        const ApproxLayer& layer = layers[static_cast<std::size_t>(l)];
+        const auto in_mask =
+            static_cast<std::uint32_t>(bitops::low_mask(layer.input_bits));
+        const int shift = shift_[static_cast<std::size_t>(l)];
+        next_changed_idx_.clear();
+        next_changed_old_.clear();
+        std::int64_t* acc_l = acc_ptr(l, s);
+        std::int64_t* act_l = act_ptr(l, s);
+        const std::int64_t* in_now = act_ptr(l - 1, s);
+        for (int p = 0; p < layer.n_out; ++p) {
+          std::int64_t dacc = 0;
+          for (std::size_t j = 0; j < changed_idx_.size(); ++j) {
+            const int in_idx = changed_idx_[j];
+            const ApproxConn& c = layer.conn(p, in_idx);
+            const std::uint32_t m = c.mask & in_mask;
+            const std::int64_t t_new = static_cast<std::int64_t>(
+                static_cast<std::uint32_t>(in_now[in_idx]) & m)
+                << c.exponent;
+            const std::int64_t t_old = static_cast<std::int64_t>(
+                static_cast<std::uint32_t>(changed_old_[j]) & m)
+                << c.exponent;
+            dacc += c.sign < 0 ? t_old - t_new : t_new - t_old;
+          }
+          if (dacc == 0) continue;
+          undo_slots_.push_back({&acc_l[p], acc_l[p]});
+          acc_l[p] += dacc;
+          const std::int64_t a = activate(layer, shift, acc_l[p]);
+          if (a != act_l[p]) {
+            next_changed_idx_.push_back(p);
+            next_changed_old_.push_back(act_l[p]);
+            undo_slots_.push_back({&act_l[p], act_l[p]});
+            act_l[p] = a;
+          }
+        }
+        changed_idx_.swap(next_changed_idx_);
+        changed_old_.swap(next_changed_old_);
+      }
+
+      // Non-empty here means the wavefront reached the output layer.
+      if (!changed_idx_.empty()) {
+        const auto out_w =
+            static_cast<std::size_t>(width_[static_cast<std::size_t>(last)]);
+        const int new_pred = argmax_first({act_ptr(last, s), out_w});
+        if (new_pred != pred_[s]) {
+          undo_pred_.push_back(
+              {static_cast<std::uint32_t>(s), pred_[s], correct_[s]});
+          pred_[s] = new_pred;
+          const std::uint8_t now_correct =
+              new_pred == train_.labels[s] ? 1 : 0;
+          if (now_correct != correct_[s]) {
+            n_correct_ += now_correct ? 1 : -1;
+            correct_[s] = now_correct;
+          }
+        }
+      }
+    }
+    wrong += correct_[s] ? 0 : 1;
+    if (wrong > allowed_wrong) {
+      undo_writes();
+      ++stats_.early_aborts;
+      return std::nullopt;
+    }
+  }
+  // A completed scan always passes: the abort bound is exact, so surviving
+  // all samples means correct >= min_correct.
+  return accuracy();
+}
+
+std::optional<double> RefineEngine::try_clear_mask_bit(int l, int o, int i,
+                                                       int bit,
+                                                       double min_acc) {
+  ApproxLayer& layer = net_.layers()[static_cast<std::size_t>(l)];
+  ApproxConn& c = layer.conn(o, i);
+  const std::uint32_t old_mask = c.mask;
+  c.mask = static_cast<std::uint32_t>(bitops::set_bit(c.mask, bit, false));
+  const int old_shift = layer.qrelu_shift;
+  const int new_shift = net_.compute_qrelu_shift(l);
+  layer.qrelu_shift = new_shift;
+  shift_[static_cast<std::size_t>(l)] = new_shift;
+
+  const std::uint32_t bit_mask = std::uint32_t{1} << bit;
+  const int sign = c.sign;
+  const int k = c.exponent;
+  // Removing a retained bit removes sign * ((x & bit) << k) from the
+  // accumulator; zero for every sample without that input bit set.
+  const auto delta = [&](std::size_t s) -> std::int64_t {
+    const std::int64_t t = static_cast<std::int64_t>(
+        static_cast<std::uint32_t>(in_ptr(l, s)[i]) & bit_mask)
+        << k;
+    return sign < 0 ? t : -t;
+  };
+  const auto result = trial(l, o, new_shift != old_shift, delta, min_acc);
+  if (!result) {
+    c.mask = old_mask;
+    layer.qrelu_shift = old_shift;
+    shift_[static_cast<std::size_t>(l)] = old_shift;
+  }
+  return result;
+}
+
+std::optional<double> RefineEngine::try_set_bias(int l, int o,
+                                                 std::int64_t candidate,
+                                                 double min_acc) {
+  ApproxLayer& layer = net_.layers()[static_cast<std::size_t>(l)];
+  std::int64_t& bias = layer.biases[static_cast<std::size_t>(o)];
+  const std::int64_t old_bias = bias;
+  bias = candidate;
+  const int old_shift = layer.qrelu_shift;
+  const int new_shift = net_.compute_qrelu_shift(l);
+  layer.qrelu_shift = new_shift;
+  shift_[static_cast<std::size_t>(l)] = new_shift;
+
+  const std::int64_t d = candidate - old_bias;
+  const auto result =
+      trial(l, o, new_shift != old_shift,
+            [d](std::size_t) -> std::int64_t { return d; }, min_acc);
+  if (!result) {
+    bias = old_bias;
+    layer.qrelu_shift = old_shift;
+    shift_[static_cast<std::size_t>(l)] = old_shift;
+  }
+  return result;
+}
+
+}  // namespace pmlp::core

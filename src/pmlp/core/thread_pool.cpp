@@ -51,17 +51,25 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  parallel_for(n, [&fn](std::size_t /*chunk*/, std::size_t begin,
-                        std::size_t end) { fn(begin, end); });
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_per_chunk) {
+  parallel_for(
+      n,
+      [&fn](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        fn(begin, end);
+      },
+      min_per_chunk);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t min_per_chunk) {
   if (n == 0) return;
+  const std::size_t cap =
+      std::max<std::size_t>(1, n / std::max<std::size_t>(1, min_per_chunk));
   const auto chunks =
-      std::min<std::size_t>(static_cast<std::size_t>(size()), n);
+      std::min<std::size_t>(static_cast<std::size_t>(size()), cap);
   if (chunks <= 1) {
     // Degenerate pool or tiny range: run inline, exceptions flow naturally.
     fn(0, 0, n);

@@ -49,16 +49,23 @@ class ThreadPool {
   /// Run fn(begin, end) over [0, n) split into size() contiguous chunks and
   /// block until done. The first exception thrown by any chunk is rethrown
   /// here. The calling thread only waits — chunks run on the workers.
+  /// `min_per_chunk` is a small-n serial fallback threshold: the range is
+  /// never split below that many items per chunk, and when that leaves a
+  /// single chunk the call runs inline — pool dispatch is skipped entirely
+  /// when the per-item work cannot amortize it. Results are identical for
+  /// any threshold (chunking is static either way).
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t min_per_chunk = 1);
 
   /// As above, but fn(chunk, begin, end) also receives the chunk index
   /// (in [0, size())), so a caller can hand each chunk its own scratch
   /// state. Chunk k always covers the same static subrange of [0, n) for a
-  /// given pool size, preserving the determinism contract.
+  /// given pool size and threshold, preserving the determinism contract.
   void parallel_for(
       std::size_t n,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      std::size_t min_per_chunk = 1);
 
  private:
   void enqueue(std::function<void()> job);

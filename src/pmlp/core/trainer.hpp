@@ -17,8 +17,9 @@ struct TrainerConfig {
   ProblemConfig problem;   ///< loss bound + doping
   /// Parallel fitness evaluation for every engine the trainer runs:
   /// 0 = all hardware threads, 1 = serial, N = N pool workers. This knob
-  /// supersedes ga.n_threads (it is copied over it before optimization);
-  /// results are bit-identical for any setting.
+  /// supersedes ga.n_threads (it is copied over it before optimization).
+  /// At flow level it also drives the per-point refine fan-out and the
+  /// hardware-analysis stage; results are bit-identical for any setting.
   int n_threads = 0;
 };
 

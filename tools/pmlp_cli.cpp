@@ -187,6 +187,13 @@ int cmd_run(const std::string& dataset, int pop, int gens,
               << result.training.evals_per_second
               << " evals/s, cache hit rate "
               << result.training.cache_hit_rate << ")\n";
+    if (result.refine.trials > 0) {
+      std::cout << "refine engine: " << result.refine.trials << " trials on "
+                << result.refine.points << " points (early-abort rate "
+                << result.refine.early_abort_rate() << "), "
+                << result.refine.bits_cleared << " bits cleared, "
+                << result.refine.biases_simplified << " biases simplified\n";
+    }
     std::cout << "true Pareto front (" << result.front.size()
               << " points):\n";
     std::cout << "  acc       area-cm2   power-mW   verified\n";

@@ -26,8 +26,9 @@ export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
 
 # Prints dataset rows as "name grad_s ga_s gaaxc_s", one final
 # "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, per-stage
-# "STAGE name seconds" rows and a "HWCAND n" row, with the paper's
-# parenthesized reference minutes stripped.
+# "STAGE name seconds" rows, a "HWCAND n" row and a "REFINE trials aborts
+# bits biases" row, with the paper's parenthesized reference minutes
+# stripped.
 run_once() {
   PMLP_THREADS="$1" "$BENCH" |
     sed 's/([^)]*)//g' |
@@ -38,7 +39,9 @@ run_once() {
          $1 == "StageWall" \
          {printf "STAGE %s %s\n", $2, $3}
          $1 == "HwCandidates" \
-         {printf "HWCAND %s\n", $2}'
+         {printf "HWCAND %s\n", $2}
+         $1 == "RefineStats" \
+         {printf "REFINE %s %s %s %s\n", $3, $5, $7, $9}'
 }
 
 echo "running bench_table3_runtime serial (PMLP_THREADS=1)..." >&2
@@ -50,7 +53,7 @@ python3 - "$OUT" <<PY
 import json, os, sys
 
 def parse(block):
-    rows, perf, stages, hw_cand = {}, {}, {}, 0
+    rows, perf, stages, hw_cand, refine = {}, {}, {}, 0, {}
     for line in block.strip().splitlines():
         fields = line.split()
         if fields[0] == "THROUGHPUT":
@@ -64,13 +67,18 @@ def parse(block):
         if fields[0] == "HWCAND":
             hw_cand = int(fields[1])
             continue
+        if fields[0] == "REFINE":
+            refine = {"trials": int(fields[1]), "early_aborts": int(fields[2]),
+                      "bits_cleared": int(fields[3]),
+                      "biases_simplified": int(fields[4])}
+            continue
         name, grad, ga, axc = fields
         rows[name] = {"grad_s": float(grad), "ga_s": float(ga),
                       "gaaxc_s": float(axc)}
-    return rows, perf, stages, hw_cand
+    return rows, perf, stages, hw_cand, refine
 
-serial, serial_perf, serial_stages, hw_cand = parse("""$SERIAL""")
-parallel, parallel_perf, parallel_stages, _ = parse("""$PARALLEL""")
+serial, serial_perf, serial_stages, hw_cand, serial_refine = parse("""$SERIAL""")
+parallel, parallel_perf, parallel_stages, _, _ = parse("""$PARALLEL""")
 total_serial = sum(r["gaaxc_s"] + r["ga_s"] for r in serial.values())
 total_parallel = sum(r["gaaxc_s"] + r["ga_s"] for r in parallel.values())
 hw_serial = serial_stages.get("hardware", 0.0)
@@ -95,6 +103,21 @@ doc = {
         "serial_s": round(hw_serial, 4),
         "parallel_s": round(hw_parallel, 4),
         "speedup": round(hw_serial / max(hw_parallel, 1e-9), 3),
+    },
+    # Post-GA greedy refinement through the incremental RefineEngine
+    # (memoized forward state + delta updates + early-abort accuracy),
+    # fanned out per Pareto point over the worker pool.
+    "refine_stage": {
+        "trials": serial_refine.get("trials", 0),
+        "early_abort_rate": round(
+            serial_refine.get("early_aborts", 0)
+            / max(serial_refine.get("trials", 0), 1), 4),
+        "bits_cleared": serial_refine.get("bits_cleared", 0),
+        "biases_simplified": serial_refine.get("biases_simplified", 0),
+        "serial_s": round(serial_stages.get("refine", 0.0), 4),
+        "parallel_s": round(parallel_stages.get("refine", 0.0), 4),
+        "speedup": round(serial_stages.get("refine", 0.0)
+                         / max(parallel_stages.get("refine", 0.0), 1e-9), 3),
     },
     # GA-AxC evaluation-engine throughput (compiled sparse inference +
     # genome memo cache); the per-PR perf trajectory figure.
