@@ -9,7 +9,8 @@
 //   PMLP_GENS  NSGA-II generations         (default 30)
 //   PMLP_EPOCHS backprop epochs            (default 150)
 //   PMLP_THREADS flow-wide parallelism     (default 0 = all hardware
-//              threads; GA evaluation and hardware analysis)
+//              threads; GA evaluation and hardware analysis — and in
+//              bench_table3_runtime the shared campaign-pool size)
 //   PMLP_CACHE genome memo-cache entries   (default 4096; 0 = off)
 //   PMLP_SC_SAMPLES stochastic-sim samples (default 200)
 // The paper's full-scale runs used ~26M evaluations; these defaults keep a

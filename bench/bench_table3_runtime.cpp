@@ -5,15 +5,21 @@
 // here the same three trainers run at a scaled-down budget and the *ratios*
 // (GA ~ GA-AxC >> gradient) are the reproduced shape.
 //
-// (3) runs through the staged FlowEngine, so this bench also reports the
-// aggregate per-stage wall times of the full Fig. 2 pipeline (including the
-// pool-parallel hardware-analysis stage) — parsed by tools/run_bench.sh
-// into BENCH_table3.json.
+// (3) runs the whole Table I suite through ONE CampaignRunner: the five
+// Fig. 2 flows execute concurrently over a single shared worker pool of
+// PMLP_THREADS workers (stage-granular scheduling, no per-flow thread
+// forests), replacing the old one-flow-at-a-time loop. The campaign's
+// aggregate accounting (wall, flows/sec, per-stage rollups) and the actual
+// thread counts are printed for tools/run_bench.sh, which runs this bench
+// once serial (PMLP_THREADS=1) and once on all hardware threads and records
+// the shared-pool speedup as the `campaign` block of BENCH_table3.json.
 #include <iostream>
 #include <map>
 
 #include "bench_common.hpp"
+#include "pmlp/core/campaign.hpp"
 #include "pmlp/core/suite.hpp"
+#include "pmlp/core/thread_pool.hpp"
 
 int main() {
   using namespace pmlp;
@@ -27,6 +33,32 @@ int main() {
       {"WhiteWine", 7, 77, 79},
   };
 
+  // (3) GA-AxC: the five flows (GA seeded like the old bench:
+  // default_flow_config(2)) on one shared pool. Per-flow results are
+  // bit-identical to the old sequential FlowEngine loop.
+  const int env_threads = bench::env_int("PMLP_THREADS", 0);
+  core::CampaignConfig campaign_cfg;
+  campaign_cfg.n_threads = env_threads;
+  core::CampaignRunner runner(campaign_cfg);
+  for (const auto& pr : paper) {
+    core::CampaignFlowSpec spec;
+    spec.name = pr.name;
+    spec.dataset = pr.name;
+    spec.data = core::load_paper_dataset(pr.name);
+    spec.topology = core::paper_topology(pr.name);
+    spec.config = bench::default_flow_config(2);
+    runner.add_flow(std::move(spec));
+  }
+  const auto campaign = runner.run();
+  for (const auto& f : campaign.flows) {
+    if (f.status != core::CampaignFlowStatus::kDone) {
+      std::cerr << "campaign flow " << f.name << " "
+                << core::campaign_flow_status_name(f.status) << ": "
+                << f.error << "\n";
+      return 1;
+    }
+  }
+
   std::cout << "=== Table III: training execution times (seconds at the "
                "scaled benchmark budget; paper minutes in parentheses) "
                "===\n\n";
@@ -38,14 +70,9 @@ int main() {
   std::map<std::string, double> stage_walls;  // aggregated over datasets
   long hw_candidates = 0;
   core::RefineFrontReport refine_totals;  // aggregated over datasets
-  for (const auto& pr : paper) {
-    // Full Fig. 2 pipeline through the FlowEngine (GA seeded like the old
-    // bench: default_trainer_config(2)); its stage reports provide the
-    // per-stage wall times, its training result the GA-AxC timing.
-    auto cfg = bench::default_flow_config(2);
-    core::FlowEngine engine(core::load_paper_dataset(pr.name),
-                            core::paper_topology(pr.name), cfg);
-    const auto flow = engine.run();
+  for (std::size_t i = 0; i < std::size(paper); ++i) {
+    const auto& pr = paper[i];
+    const core::FlowResult& flow = *campaign.flows[i].result;
     for (const auto& s : flow.stages) {
       stage_walls[core::flow_stage_name(s.stage)] += s.wall_seconds;
       if (s.stage == core::FlowStage::kHardware) hw_candidates += s.items;
@@ -65,7 +92,11 @@ int main() {
     const auto grad =
         mlp::train_backprop(net, flow.baseline.train_raw, bp);
 
-    // (2) GA accuracy-only, same evaluation budget as (3).
+    // (2) GA accuracy-only, same evaluation budget as (3). Runs outside
+    // the campaign with PMLP_THREADS-wide intra-run fitness parallelism —
+    // the pool-effectiveness reference run_bench.sh turns into
+    // `parallel_speedup`.
+    const auto cfg = bench::default_flow_config(2);
     const auto ga = core::train_ga_accuracy_only(
         core::paper_topology(pr.name), flow.baseline.train, cfg.trainer);
 
@@ -97,8 +128,11 @@ int main() {
                                                1.0), 0, 4)
             << "\n";
   // Per-stage pipeline accounting (also parsed by tools/run_bench.sh).
-  std::cout << "\nPer-stage wall times (FlowEngine, seconds summed over the "
-               "5 datasets):\n";
+  // Inside a campaign every stage runs serially on its worker, so these
+  // are pure compute walls; flow-level overlap shows up in the Campaign
+  // wall below instead.
+  std::cout << "\nPer-stage wall times (CampaignRunner flows, seconds "
+               "summed over the 5 datasets):\n";
   for (const char* name :
        {"split", "backprop", "baseline", "ga", "refine", "hardware",
         "select"}) {
@@ -115,6 +149,17 @@ int main() {
             << refine_totals.bits_cleared << " biases "
             << refine_totals.biases_simplified << " points "
             << refine_totals.points << "\n";
+  // Actual thread counts, cross-checked by run_bench.sh against the
+  // PMLP_THREADS it exported (so the recorded speedups stay attributable):
+  // ThreadsUsed is the resolved intra-run knob of the reference GA runs,
+  // Campaign's `threads` the shared pool actually constructed.
+  std::cout << "ThreadsUsed " << core::resolve_n_threads(env_threads) << "\n";
+  std::cout << "Campaign flows " << campaign.flows.size() << " threads "
+            << campaign.n_threads << " wall "
+            << bench::fmt(campaign.wall_seconds, 0, 4) << " stage_wall "
+            << bench::fmt(campaign.stage_wall_seconds, 0, 4)
+            << " flows_per_s "
+            << bench::fmt(campaign.flows_per_second(), 0, 4) << "\n";
   std::cout << "\nAverage: grad " << bench::fmt(sum_grad / 5, 0, 2)
             << " s, GA " << bench::fmt(sum_ga / 5, 0, 2) << " s, GA-AxC "
             << bench::fmt(sum_axc / 5, 0, 2)

@@ -530,9 +530,41 @@ FlowResult FlowEngine::run() & { return assemble(/*move_out=*/false); }
 
 FlowResult FlowEngine::run() && { return assemble(/*move_out=*/true); }
 
-// -------------------------------------------------------------- JSON report
+std::optional<FlowStage> FlowEngine::advance() {
+  // Each stage_*() runs its missing upstream stages itself, so testing the
+  // artifacts in pipeline order guarantees exactly one stage executes.
+  if (!split_) {
+    stage_split();
+    return FlowStage::kSplit;
+  }
+  if (!float_net_) {
+    stage_backprop();
+    return FlowStage::kBackprop;
+  }
+  if (!pricing_) {
+    stage_baseline();
+    return FlowStage::kBaseline;
+  }
+  if (!training_) {
+    stage_ga();
+    return FlowStage::kGa;
+  }
+  if (config_.refine && !refined_) {
+    stage_refine();
+    return FlowStage::kRefine;
+  }
+  if (!evaluated_) {
+    stage_hardware();
+    return FlowStage::kHardware;
+  }
+  if (!selection_) {
+    stage_select();
+    return FlowStage::kSelect;
+  }
+  return std::nullopt;
+}
 
-namespace {
+// -------------------------------------------------------------- JSON report
 
 void json_escape(const std::string& s, std::ostream& os) {
   os << '"';
@@ -555,6 +587,8 @@ void json_escape(const std::string& s, std::ostream& os) {
   }
   os << '"';
 }
+
+namespace {
 
 void json_point(const HwEvaluatedPoint& p, std::ostream& os) {
   os << "{\"test_accuracy\":" << p.test_accuracy

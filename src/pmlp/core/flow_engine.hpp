@@ -88,6 +88,13 @@ class FlowEngine {
   FlowResult run() &;
   FlowResult run() &&;
 
+  /// Run (or checkpoint-load) exactly one stage: the earliest one whose
+  /// artifact is not yet available. Returns the stage that ran, or nullopt
+  /// once the pipeline is complete (run() is then a cheap assembly). This is
+  /// the scheduling unit of the campaign runner (campaign.hpp), which
+  /// interleaves many flows' stages over one shared worker pool.
+  std::optional<FlowStage> advance();
+
   /// Reports of every stage executed so far, in execution order.
   [[nodiscard]] const std::vector<StageReport>& stages() const {
     return stages_;
@@ -149,5 +156,9 @@ class FlowEngine {
 void write_flow_report_json(const FlowResult& result,
                             const std::string& dataset_name,
                             const mlp::Topology& topology, std::ostream& os);
+
+/// Minimal JSON string escaping, quotes included (shared by the flow and
+/// campaign report writers).
+void json_escape(const std::string& s, std::ostream& os);
 
 }  // namespace pmlp::core

@@ -42,7 +42,13 @@ const PaperBaselineRow& paper_row(const std::string& dataset) {
   for (const auto& r : paper_table1()) {
     if (r.dataset == dataset) return r;
   }
-  throw std::invalid_argument("paper_row: unknown dataset " + dataset);
+  std::string known;
+  for (const auto& r : paper_table1()) {
+    if (!known.empty()) known += ", ";
+    known += r.dataset;
+  }
+  throw std::invalid_argument("unknown dataset '" + dataset +
+                              "'; known: " + known);
 }
 
 }  // namespace pmlp::mlp

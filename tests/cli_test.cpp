@@ -1,0 +1,173 @@
+// Exit-code and error-path tests for tools/pmlp_cli: argument and path
+// errors must print an actionable message (valid dataset choices, the
+// offending path) and exit with code 2 — never propagate an exception to
+// std::terminate (which would abort with SIGABRT, status 134) and never
+// start an expensive run that is doomed to fail at the end.
+//
+// The binary under test is passed in by CMake as PMLP_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CliResult {
+  int status = -1;   ///< exit code; -1 = signal/abnormal termination
+  std::string out;   ///< stdout + stderr
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(PMLP_CLI_PATH) + " " + args + " 2>&1";
+  CliResult r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.out.append(buf.data(), n);
+  }
+  const int rc = ::pclose(pipe);
+  if (WIFEXITED(rc)) r.status = WEXITSTATUS(rc);
+  return r;
+}
+
+/// The error path must exit with the usage code, not crash: a raw
+/// exception reaching std::terminate aborts (WIFEXITED false -> -1).
+void expect_usage_error(const CliResult& r, const char* needle) {
+  EXPECT_EQ(r.status, 2) << r.out;
+  EXPECT_NE(r.out.find(needle), std::string::npos) << r.out;
+}
+
+}  // namespace
+
+TEST(Cli, UnknownDatasetListsChoices) {
+  const auto r = run_cli("run Bogus 8 1");
+  expect_usage_error(r, "unknown dataset 'Bogus'");
+  // The message must name the valid choices.
+  EXPECT_NE(r.out.find("BreastCancer"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("WhiteWine"), std::string::npos) << r.out;
+}
+
+TEST(Cli, UnknownDatasetInMetricsAndBaseline) {
+  for (const char* sub : {"metrics", "baseline"}) {
+    const auto r = run_cli(std::string(sub) + " Nope");
+    expect_usage_error(r, "unknown dataset 'Nope'");
+    EXPECT_NE(r.out.find("Cardio"), std::string::npos) << r.out;
+  }
+}
+
+TEST(Cli, CampaignUnknownDatasetListsChoices) {
+  const auto r = run_cli("campaign --datasets BreastCancer,Bogus 8 1");
+  expect_usage_error(r, "unknown dataset 'Bogus'");
+  EXPECT_NE(r.out.find("Pendigits"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CampaignEmptyDatasetEntryRejected) {
+  const auto r = run_cli("campaign --datasets BreastCancer,, 8 1");
+  expect_usage_error(r, "empty entry");
+}
+
+TEST(Cli, CampaignDuplicateDatasetRejected) {
+  const auto r = run_cli("campaign --datasets Cardio,Cardio 8 1");
+  expect_usage_error(r, "duplicate dataset 'Cardio'");
+}
+
+TEST(Cli, UnwritableJsonFailsBeforeTraining) {
+  const auto r =
+      run_cli("run BreastCancer 8 1 --json /nonexistent_dir_xyz/out.json");
+  expect_usage_error(r, "/nonexistent_dir_xyz/out.json");
+  // Fail-fast: no training output may precede the error.
+  EXPECT_EQ(r.out.find("stage ga"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CampaignUnwritableJsonFailsBeforeTraining) {
+  const auto r = run_cli(
+      "campaign --datasets BreastCancer --json /nonexistent_dir_xyz/c.json "
+      "8 1");
+  expect_usage_error(r, "/nonexistent_dir_xyz/c.json");
+}
+
+TEST(Cli, CheckpointPathThatIsAFileRejected) {
+  const fs::path file =
+      fs::temp_directory_path() / "pmlp_cli_test_ckpt_file.txt";
+  std::ofstream(file) << "not a directory\n";
+  const auto r = run_cli("run BreastCancer 8 1 --checkpoint " +
+                         file.string());
+  fs::remove(file);
+  expect_usage_error(r, "not a directory");
+}
+
+TEST(Cli, GarbledPopulationRejected) {
+  const auto r = run_cli("run BreastCancer twelve");
+  expect_usage_error(r, "positive int");
+}
+
+TEST(Cli, GarbledGenerationsRejected) {
+  const auto r = run_cli("campaign 8 zero");
+  expect_usage_error(r, "positive int");
+}
+
+TEST(Cli, MissingOptionValueRejected) {
+  for (const char* flag : {"--datasets", "--seeds", "--threads", "--json"}) {
+    const auto r = run_cli(std::string("campaign ") + flag);
+    EXPECT_EQ(r.status, 2) << flag << ": " << r.out;
+    EXPECT_NE(r.out.find("requires a value"), std::string::npos)
+        << flag << ": " << r.out;
+  }
+}
+
+TEST(Cli, UnconsumedFlagsRejectedBeforeTraining) {
+  // A flag the selected subcommand silently ignores would cost a full run
+  // to discover; it must be rejected up front instead.
+  const auto campaign = run_cli("campaign --save-front fronts 8 1");
+  expect_usage_error(campaign, "--save-front is not supported");
+  const auto run = run_cli("run BreastCancer 8 1 --seeds 3");
+  expect_usage_error(run, "--seeds is not supported");
+  const auto listed = run_cli("list --datasets BreastCancer");
+  expect_usage_error(listed, "--datasets is not supported");
+}
+
+TEST(Cli, CorruptModelIsRuntimeFailureNotUsageError) {
+  const fs::path model =
+      fs::temp_directory_path() / "pmlp_cli_test_corrupt.model";
+  std::ofstream(model) << "not a model file\n";
+  const auto r = run_cli("evaluate " + model.string() + " Cardio");
+  fs::remove(model);
+  // Corrupt artifacts are runtime failures (exit 1); only argument errors
+  // use the usage exit code 2.
+  EXPECT_EQ(r.status, 1) << r.out;
+  EXPECT_NE(r.out.find("error:"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CampaignResumeWithoutCheckpointRejected) {
+  const auto r = run_cli("campaign --resume --datasets BreastCancer 8 1");
+  expect_usage_error(r, "--resume requires --checkpoint");
+}
+
+TEST(Cli, CampaignResumeFromMissingRootRejected) {
+  const auto r = run_cli(
+      "campaign --resume --datasets BreastCancer --checkpoint "
+      "/nonexistent_dir_xyz/camp 8 1");
+  expect_usage_error(r, "no campaign checkpoint");
+}
+
+TEST(Cli, EvaluateMissingModelExitsNonZero) {
+  const auto r = run_cli("evaluate /nonexistent_dir_xyz/m.model Cardio");
+  // Runtime (not usage) failure: non-zero, message, no terminate.
+  EXPECT_EQ(r.status, 1) << r.out;
+  EXPECT_NE(r.out.find("error:"), std::string::npos) << r.out;
+}
+
+TEST(Cli, ListSucceeds) {
+  const auto r = run_cli("list");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_NE(r.out.find("BreastCancer"), std::string::npos);
+}

@@ -3,13 +3,11 @@
 // hardware analysis and stage reporting.
 #include <gtest/gtest.h>
 
-#include <unistd.h>
-
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "flow_test_util.hpp"
 #include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/datasets/synthetic.hpp"
@@ -17,8 +15,15 @@
 namespace core = pmlp::core;
 namespace ds = pmlp::datasets;
 namespace fs = std::filesystem;
+using pmlp::test::expect_same_points;
+using pmlp::test::expect_same_result;
 
 namespace {
+
+/// Scratch dir with this suite's prefix.
+struct TempDir : pmlp::test::TempDir {
+  explicit TempDir(const char* tag) : pmlp::test::TempDir("pmlp_flow_test", tag) {}
+};
 
 core::FlowConfig small_cfg() {
   core::FlowConfig cfg;
@@ -38,61 +43,6 @@ ds::Dataset small_data() {
 }
 
 pmlp::mlp::Topology small_topo() { return pmlp::mlp::Topology{{10, 3, 2}}; }
-
-/// Fresh scratch directory, removed on destruction.
-struct TempDir {
-  fs::path path;
-  explicit TempDir(const char* tag)
-      : path(fs::temp_directory_path() /
-             (std::string("pmlp_flow_test_") + tag + "_" +
-              std::to_string(::getpid()))) {
-    fs::remove_all(path);
-  }
-  ~TempDir() { fs::remove_all(path); }
-};
-
-void expect_same_points(const std::vector<core::HwEvaluatedPoint>& a,
-                        const std::vector<core::HwEvaluatedPoint>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(core::to_text(a[i].model), core::to_text(b[i].model));
-    EXPECT_EQ(a[i].test_accuracy, b[i].test_accuracy);
-    EXPECT_EQ(a[i].fa_area, b[i].fa_area);
-    EXPECT_EQ(a[i].functional_match, b[i].functional_match);
-    EXPECT_EQ(a[i].cost.area_mm2, b[i].cost.area_mm2);
-    EXPECT_EQ(a[i].cost.power_uw, b[i].cost.power_uw);
-    EXPECT_EQ(a[i].cost.critical_delay_us, b[i].cost.critical_delay_us);
-    EXPECT_EQ(a[i].cost.cell_count, b[i].cost.cell_count);
-  }
-}
-
-void expect_same_result(const core::FlowResult& a, const core::FlowResult& b) {
-  EXPECT_EQ(a.baseline.baseline_train_accuracy,
-            b.baseline.baseline_train_accuracy);
-  EXPECT_EQ(a.baseline.baseline_test_accuracy,
-            b.baseline.baseline_test_accuracy);
-  EXPECT_EQ(a.baseline.baseline_cost.area_mm2,
-            b.baseline.baseline_cost.area_mm2);
-  EXPECT_EQ(a.training.evaluations, b.training.evaluations);
-  ASSERT_EQ(a.training.estimated_pareto.size(),
-            b.training.estimated_pareto.size());
-  for (std::size_t i = 0; i < a.training.estimated_pareto.size(); ++i) {
-    EXPECT_EQ(core::to_text(a.training.estimated_pareto[i].model),
-              core::to_text(b.training.estimated_pareto[i].model));
-    EXPECT_EQ(a.training.estimated_pareto[i].train_accuracy,
-              b.training.estimated_pareto[i].train_accuracy);
-    EXPECT_EQ(a.training.estimated_pareto[i].fa_area,
-              b.training.estimated_pareto[i].fa_area);
-  }
-  expect_same_points(a.evaluated, b.evaluated);
-  expect_same_points(a.front, b.front);
-  ASSERT_EQ(a.best.has_value(), b.best.has_value());
-  if (a.best) {
-    EXPECT_EQ(core::to_text(a.best->model), core::to_text(b.best->model));
-  }
-  EXPECT_EQ(a.area_reduction, b.area_reduction);
-  EXPECT_EQ(a.power_reduction, b.power_reduction);
-}
 
 }  // namespace
 
@@ -166,6 +116,62 @@ TEST(FlowEngine, PartialResumeRecomputesDownstream) {
   // The recomputed artifacts were re-persisted.
   EXPECT_TRUE(fs::exists(dir.path / "refined_front.txt"));
   EXPECT_TRUE(fs::exists(dir.path / "evaluated.txt"));
+}
+
+TEST(FlowEngine, ResumeWithDifferentThreadsAndCacheAccepted) {
+  // The meta.txt config fingerprint covers exactly the result-changing
+  // fields. The bit-identical knobs — trainer.n_threads (and the superseded
+  // ga/hardware thread counts) and problem.eval_cache_capacity — must stay
+  // out of it: a checkpoint written on a 2-thread machine resumes under a
+  // different thread count / cache size (e.g. on another machine) instead
+  // of being rejected as a different config, and reproduces the original
+  // result bit-identically.
+  TempDir dir("threadmeta");
+  const auto data = small_data();
+  auto cfg = small_cfg();
+  cfg.trainer.n_threads = 2;
+  cfg.trainer.problem.eval_cache_capacity = 512;
+
+  core::FlowEngine first(data, small_topo(), cfg);
+  first.set_checkpoint_dir(dir.path.string());
+  const auto r1 = first.run();
+
+  auto resumed_cfg = small_cfg();
+  resumed_cfg.trainer.n_threads = 1;
+  resumed_cfg.trainer.ga.n_threads = 7;       // superseded knob, also excluded
+  resumed_cfg.hardware.n_threads = 3;         // superseded knob, also excluded
+  resumed_cfg.trainer.problem.eval_cache_capacity = 0;
+  core::FlowEngine second(data, small_topo(), resumed_cfg);
+  second.set_checkpoint_dir(dir.path.string());
+  core::FlowResult r2;
+  ASSERT_NO_THROW(r2 = second.run());
+  expect_same_result(r1, r2);
+  for (const auto& s : r2.stages) {
+    EXPECT_EQ(s.reused, s.stage != core::FlowStage::kSelect)
+        << core::flow_stage_name(s.stage);
+  }
+}
+
+TEST(FlowEngine, AdvanceRunsOneStageAtATime) {
+  const auto data = small_data();
+  core::FlowEngine engine(data, small_topo(), small_cfg());
+  std::vector<core::FlowStage> ran;
+  while (auto stage = engine.advance()) {
+    ran.push_back(*stage);
+    EXPECT_EQ(engine.stages().size(), ran.size());
+    EXPECT_EQ(engine.stages().back().stage, *stage);
+  }
+  const std::vector<core::FlowStage> expected{
+      core::FlowStage::kSplit,    core::FlowStage::kBackprop,
+      core::FlowStage::kBaseline, core::FlowStage::kGa,
+      core::FlowStage::kRefine,   core::FlowStage::kHardware,
+      core::FlowStage::kSelect};
+  EXPECT_EQ(ran, expected);
+  // Complete: further advance() is a no-op and run() just assembles.
+  EXPECT_FALSE(engine.advance().has_value());
+  const auto r1 = engine.run();
+  const auto r0 = core::run_flow(data, small_topo(), small_cfg());
+  expect_same_result(r0, r1);
 }
 
 TEST(FlowEngine, RejectsCheckpointOfDifferentConfig) {

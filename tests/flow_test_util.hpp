@@ -1,0 +1,77 @@
+// Shared helpers for the flow-level test suites (flow_engine_test,
+// campaign_test): a scratch-directory RAII guard and the bit-identity
+// comparators for FlowResults. Keeping one copy prevents the comparators
+// from drifting apart when FlowResult grows a field.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pmlp/core/flow.hpp"
+#include "pmlp/core/serialize.hpp"
+
+namespace pmlp::test {
+
+/// Fresh scratch directory under the system temp dir, removed on
+/// destruction. `prefix` + `tag` keep concurrent suites apart.
+struct TempDir {
+  std::filesystem::path path;
+  TempDir(const char* prefix, const char* tag)
+      : path(std::filesystem::temp_directory_path() /
+             (std::string(prefix) + "_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+inline void expect_same_points(const std::vector<core::HwEvaluatedPoint>& a,
+                               const std::vector<core::HwEvaluatedPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(core::to_text(a[i].model), core::to_text(b[i].model));
+    EXPECT_EQ(a[i].test_accuracy, b[i].test_accuracy);
+    EXPECT_EQ(a[i].fa_area, b[i].fa_area);
+    EXPECT_EQ(a[i].functional_match, b[i].functional_match);
+    EXPECT_EQ(a[i].cost.area_mm2, b[i].cost.area_mm2);
+    EXPECT_EQ(a[i].cost.power_uw, b[i].cost.power_uw);
+    EXPECT_EQ(a[i].cost.critical_delay_us, b[i].cost.critical_delay_us);
+    EXPECT_EQ(a[i].cost.cell_count, b[i].cost.cell_count);
+  }
+}
+
+inline void expect_same_result(const core::FlowResult& a,
+                               const core::FlowResult& b) {
+  EXPECT_EQ(a.baseline.baseline_train_accuracy,
+            b.baseline.baseline_train_accuracy);
+  EXPECT_EQ(a.baseline.baseline_test_accuracy,
+            b.baseline.baseline_test_accuracy);
+  EXPECT_EQ(a.baseline.baseline_cost.area_mm2,
+            b.baseline.baseline_cost.area_mm2);
+  EXPECT_EQ(a.training.evaluations, b.training.evaluations);
+  ASSERT_EQ(a.training.estimated_pareto.size(),
+            b.training.estimated_pareto.size());
+  for (std::size_t i = 0; i < a.training.estimated_pareto.size(); ++i) {
+    EXPECT_EQ(core::to_text(a.training.estimated_pareto[i].model),
+              core::to_text(b.training.estimated_pareto[i].model));
+    EXPECT_EQ(a.training.estimated_pareto[i].train_accuracy,
+              b.training.estimated_pareto[i].train_accuracy);
+    EXPECT_EQ(a.training.estimated_pareto[i].fa_area,
+              b.training.estimated_pareto[i].fa_area);
+  }
+  expect_same_points(a.evaluated, b.evaluated);
+  expect_same_points(a.front, b.front);
+  ASSERT_EQ(a.best.has_value(), b.best.has_value());
+  if (a.best) {
+    EXPECT_EQ(core::to_text(a.best->model), core::to_text(b.best->model));
+  }
+  EXPECT_EQ(a.area_reduction, b.area_reduction);
+  EXPECT_EQ(a.power_reduction, b.power_reduction);
+}
+
+}  // namespace pmlp::test

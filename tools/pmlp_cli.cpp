@@ -17,6 +17,22 @@
 //                                     power, feasibility zone @1V/0.6V)
 //   pmlp export <model> <dataset> <out-prefix>
 //                                     Verilog DUT + self-checking testbench
+//   pmlp campaign [pop] [gens]        run a dataset x seed grid of flows
+//                                     concurrently over ONE shared worker
+//                                     pool (--threads N workers total; no
+//                                     per-flow thread forests). With
+//                                     --checkpoint DIR each flow persists
+//                                     under DIR/<dataset>_sK and a killed
+//                                     campaign resumes bit-identically;
+//                                     --json FILE writes the aggregated
+//                                     campaign report. Per-flow fronts are
+//                                     bit-identical to N independent runs.
+//
+// Campaign options:
+//   --datasets A,B,C                  Table I subset (default: all five)
+//   --seeds K                         GA seeds 1..K per dataset (default 1)
+//   --resume                          require an existing --checkpoint root
+//                                     and continue from the completed stages
 //
 // Global options:
 //   --threads N                       flow-wide parallelism: GA fitness
@@ -41,6 +57,7 @@
 //
 // Datasets are the synthetic paper suite; swap in real UCI files by loading
 // through pmlp::datasets::load_uci in your own driver.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -49,12 +66,17 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "pmlp/core/campaign.hpp"
 #include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/core/suite.hpp"
+#include "pmlp/core/thread_pool.hpp"
 #include "pmlp/datasets/metrics.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/hwmodel/power.hpp"
@@ -101,6 +123,108 @@ int g_cache = -1;              // --cache: -1 = keep the ProblemConfig default
 std::string g_checkpoint;      // --checkpoint DIR
 std::string g_json;            // --json FILE ("-" = stdout)
 std::string g_save_front;      // --save-front DIR
+std::string g_datasets;        // --datasets A,B,C (campaign; "" = all five)
+int g_seeds = 1;               // --seeds K (campaign: GA seeds 1..K)
+bool g_seeds_set = false;      // --seeds was given explicitly
+bool g_resume = false;         // --resume (campaign)
+
+/// Usage-level argument errors throw this; main() maps it to exit code 2
+/// (runtime failures exit 1) instead of letting anything escape uncaught.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Validate a dataset argument up front: an unknown name is a usage error
+/// (exit 2, message lists the valid choices). Runtime invalid_argument
+/// throws from corrupt artifacts etc. stay runtime failures (exit 1).
+void require_dataset(const std::string& name) {
+  try {
+    (void)core::find_paper_spec(name);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+}
+
+/// Flags parsed but not consumed by the selected subcommand are usage
+/// errors: a silently ignored option (campaign --save-front, run --seeds)
+/// would cost a full training run to discover. --threads/--cache are
+/// accepted everywhere as global performance knobs.
+void reject_unused_flags(const std::string& cmd) {
+  const bool run_like = cmd == "run" || cmd == "resume" || cmd == "train";
+  const bool campaign = cmd == "campaign";
+  struct Check {
+    const char* flag;
+    bool set;
+    bool consumed;
+  };
+  const Check checks[] = {
+      {"--datasets", !g_datasets.empty(), campaign},
+      {"--seeds", g_seeds_set, campaign},
+      {"--resume", g_resume, campaign},
+      {"--save-front", !g_save_front.empty(), run_like},
+      {"--checkpoint", !g_checkpoint.empty(), run_like || campaign},
+      {"--json", !g_json.empty(), run_like || campaign},
+  };
+  for (const auto& c : checks) {
+    if (c.set && !c.consumed) {
+      throw UsageError(std::string(c.flag) + " is not supported by the '" +
+                       cmd + "' subcommand");
+    }
+  }
+}
+
+/// An existing --checkpoint path must be a directory we can extend; a
+/// file in its place would otherwise surface as a raw filesystem error
+/// only after minutes of training.
+void validate_checkpoint_path(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  if (std::filesystem::exists(dir, ec) &&
+      !std::filesystem::is_directory(dir, ec)) {
+    throw UsageError("--checkpoint path '" + dir +
+                     "' exists and is not a directory");
+  }
+}
+
+/// Validated --json sink, opened up front so an unwritable path fails
+/// before the expensive run, not after it. Writes go to FILE.tmp and
+/// finish() renames onto FILE, so a failed (or killed) run never clobbers
+/// a previous report; an unfinished sink removes its temp file.
+struct JsonSink {
+  std::string path;
+  std::string tmp;
+  std::ofstream os;
+  bool finished = false;
+  explicit JsonSink(const std::string& p) : path(p), tmp(p + ".tmp"), os(tmp) {
+    if (!os) {
+      throw UsageError("cannot write --json file '" + path + "'");
+    }
+  }
+  ~JsonSink() {
+    if (!finished) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+    }
+  }
+  /// Flush and install the report; throws on a short write.
+  void finish() {
+    os.flush();
+    if (!os) {
+      throw std::runtime_error("short write to " + tmp);
+    }
+    os.close();
+    std::filesystem::rename(tmp, path);
+    finished = true;
+    std::cerr << "wrote " << path << "\n";
+  }
+};
+
+/// nullptr for stdout ("-") or when --json was not given.
+std::unique_ptr<JsonSink> open_json_sink() {
+  if (g_json.empty() || g_json == "-") return nullptr;
+  return std::make_unique<JsonSink>(g_json);
+}
 
 core::FlowConfig default_flow(int pop, int gens) {
   core::FlowConfig cfg;
@@ -151,6 +275,8 @@ void save_front(const core::FlowResult& result, const std::string& dir) {
 int cmd_run(const std::string& dataset, int pop, int gens,
             const std::string& model_out, bool is_resume, bool legacy) {
   const auto& row = mlp::paper_row(dataset);
+  validate_checkpoint_path(g_checkpoint);
+  auto json_sink = open_json_sink();  // fail an unwritable --json up front
   if (is_resume) {
     if (g_checkpoint.empty()) {
       std::cerr << "error: resume requires --checkpoint DIR\n";
@@ -207,13 +333,9 @@ int cmd_run(const std::string& dataset, int pop, int gens,
     if (json_stdout) {
       core::write_flow_report_json(result, dataset, row.topology, std::cout);
     } else {
-      std::ofstream os(g_json);
-      if (!os) {
-        std::cerr << "error: cannot write " << g_json << "\n";
-        return 1;
-      }
-      core::write_flow_report_json(result, dataset, row.topology, os);
-      std::cerr << "wrote " << g_json << "\n";
+      core::write_flow_report_json(result, dataset, row.topology,
+                                   json_sink->os);
+      json_sink->finish();
     }
   }
   if (!g_save_front.empty()) save_front(result, g_save_front);
@@ -237,6 +359,130 @@ int cmd_run(const std::string& dataset, int pop, int gens,
     if (!json_stdout) std::cout << "saved " << model_out << "\n";
   }
   return 0;
+}
+
+/// Split a --datasets CSV into validated Table I names ("" = all five).
+/// Unknown names throw listing the valid choices (exit 2 via UsageError).
+std::vector<std::string> campaign_dataset_names(const std::string& csv) {
+  std::vector<std::string> names;
+  if (csv.empty()) {
+    for (const auto& row : mlp::paper_table1()) names.push_back(row.dataset);
+    return names;
+  }
+  std::string token;
+  std::istringstream is(csv);
+  while (std::getline(is, token, ',')) {
+    if (token.empty()) {
+      throw UsageError("--datasets has an empty entry in '" + csv + "'");
+    }
+    try {
+      (void)core::find_paper_spec(token);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    if (std::find(names.begin(), names.end(), token) != names.end()) {
+      throw UsageError("duplicate dataset '" + token + "' in --datasets");
+    }
+    names.push_back(token);
+  }
+  if (names.empty()) {
+    throw UsageError("--datasets expects a comma-separated list, got '" +
+                     csv + "'");
+  }
+  return names;
+}
+
+int cmd_campaign(int pop, int gens) {
+  const auto names = campaign_dataset_names(g_datasets);
+  validate_checkpoint_path(g_checkpoint);
+  auto json_sink = open_json_sink();
+  if (g_resume) {
+    if (g_checkpoint.empty()) {
+      throw UsageError("--resume requires --checkpoint DIR");
+    }
+    if (!std::filesystem::is_directory(g_checkpoint)) {
+      throw UsageError("--resume: no campaign checkpoint found in '" +
+                       g_checkpoint + "'");
+    }
+  }
+
+  core::CampaignConfig ccfg;
+  ccfg.n_threads = g_threads;
+  ccfg.checkpoint_root = g_checkpoint;
+  core::CampaignRunner runner(ccfg);
+  for (const auto& name : names) {
+    // One synthetic generation per dataset; the seed grid shares copies.
+    const auto data = core::load_paper_dataset(name);
+    for (int seed = 1; seed <= g_seeds; ++seed) {
+      core::CampaignFlowSpec spec;
+      spec.name = name + "_s" + std::to_string(seed);
+      spec.dataset = name;
+      spec.data = data;
+      spec.topology = core::paper_topology(name);
+      spec.config = default_flow(pop, gens);
+      spec.config.trainer.ga.seed = static_cast<std::uint64_t>(seed);
+      runner.add_flow(std::move(spec));
+    }
+  }
+  const int total = static_cast<int>(names.size()) * g_seeds;
+  std::cerr << "campaign: " << total << " flows (" << names.size()
+            << " datasets x " << g_seeds << " seeds), NSGA-II " << pop << "x"
+            << gens << ", shared pool of "
+            << core::resolve_n_threads(g_threads) << " workers\n";
+  runner.set_progress([](const core::CampaignProgress& p) {
+    std::cerr << "  [" << p.flow_name << "] stage "
+              << core::flow_stage_name(p.stage.stage) << ": "
+              << p.stage.wall_seconds << " s, " << p.stage.items << " items"
+              << (p.stage.reused ? " (reused)" : "") << "  (" << p.flows_done
+              << "/" << p.flows_total << " flows done)\n";
+  });
+  const auto result = runner.run();
+
+  const bool json_stdout = g_json == "-";
+  if (!json_stdout) {
+    std::cout << "campaign: " << result.completed << "/"
+              << result.flows.size() << " flows in " << result.wall_seconds
+              << " s wall (" << result.stage_wall_seconds
+              << " s of summed stage wall on " << result.n_threads
+              << " workers, " << result.flows_per_second() << " flows/s)\n";
+    std::cout << "  flow                 status    wall-s    front  "
+                 "pick-acc   area-red\n";
+    for (const auto& f : result.flows) {
+      std::cout << "  ";
+      std::cout.width(20);
+      std::cout.setf(std::ios::left);
+      std::cout << f.name;
+      std::cout.unsetf(std::ios::left);
+      std::cout << " " << campaign_flow_status_name(f.status) << "  "
+                << f.wall_seconds;
+      if (f.result) {
+        std::cout << "  " << f.result->front.size() << "  ";
+        if (f.result->best) {
+          std::cout << f.result->best->test_accuracy << "  "
+                    << f.result->area_reduction << "x";
+        } else {
+          std::cout << "-  -";
+        }
+      } else if (!f.error.empty()) {
+        std::cout << "  " << f.error;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (!g_json.empty()) {
+    if (json_stdout) {
+      core::write_campaign_report_json(result, std::cout);
+    } else {
+      core::write_campaign_report_json(result, json_sink->os);
+      json_sink->finish();
+    }
+  }
+  for (const auto& f : result.flows) {
+    if (f.status == core::CampaignFlowStatus::kFailed) {
+      std::cerr << "flow " << f.name << " FAILED: " << f.error << "\n";
+    }
+  }
+  return result.all_ok() ? 0 : 1;
 }
 
 /// Rebuild evaluation data exactly as the training flow splits it.
@@ -305,9 +551,10 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
 
 int usage() {
   std::cerr << "usage: pmlp [--threads N] [--cache N] [--checkpoint DIR] "
-               "[--json FILE] [--save-front DIR] "
-               "<list|metrics|baseline|run|resume|train|evaluate|export> "
-               "[args...]\n(see the header of tools/pmlp_cli.cpp)\n";
+               "[--json FILE] [--save-front DIR] [--datasets A,B,C] "
+               "[--seeds K] [--resume] "
+               "<list|metrics|baseline|run|resume|train|campaign|evaluate|"
+               "export> [args...]\n(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
 }
 
@@ -326,13 +573,29 @@ int parse_nonneg(const char* flag, const char* value) {
   return static_cast<int>(v);
 }
 
+/// Parse a strictly positive positional int (pop/gens/seeds); a garbled or
+/// non-positive value is a usage error (previously std::atoi silently
+/// mapped garbage to 0 and fed it into the GA).
+int parse_pos(const char* what, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || v <= 0 || errno == ERANGE ||
+      v > std::numeric_limits<int>::max()) {
+    throw UsageError(std::string(what) + " expects a positive int, got '" +
+                     value + "'");
+  }
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 ||
-        std::strcmp(argv[i], "--cache") == 0) {
+        std::strcmp(argv[i], "--cache") == 0 ||
+        std::strcmp(argv[i], "--seeds") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -340,10 +603,22 @@ int main(int argc, char** argv) {
       }
       const int v = parse_nonneg(flag, argv[++i]);
       if (v < 0) return usage();
-      (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
+      if (std::strcmp(flag, "--seeds") == 0) {
+        if (v == 0) {
+          std::cerr << "error: --seeds expects a positive int\n";
+          return usage();
+        }
+        g_seeds = v;
+        g_seeds_set = true;
+      } else {
+        (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      g_resume = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 ||
                std::strcmp(argv[i], "--json") == 0 ||
-               std::strcmp(argv[i], "--save-front") == 0) {
+               std::strcmp(argv[i], "--save-front") == 0 ||
+               std::strcmp(argv[i], "--datasets") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -354,6 +629,8 @@ int main(int argc, char** argv) {
         g_checkpoint = value;
       } else if (std::strcmp(flag, "--json") == 0) {
         g_json = value;
+      } else if (std::strcmp(flag, "--datasets") == 0) {
+        g_datasets = value;
       } else {
         g_save_front = value;
       }
@@ -365,21 +642,47 @@ int main(int argc, char** argv) {
   const std::string& cmd = args[0];
   const std::size_t n = args.size();
   try {
+    reject_unused_flags(cmd);
     if (cmd == "list") return cmd_list();
-    if (cmd == "metrics" && n >= 2) return cmd_metrics(args[1]);
-    if (cmd == "baseline" && n >= 2) return cmd_baseline(args[1]);
+    if (cmd == "metrics" && n >= 2) {
+      require_dataset(args[1]);
+      return cmd_metrics(args[1]);
+    }
+    if (cmd == "baseline" && n >= 2) {
+      require_dataset(args[1]);
+      return cmd_baseline(args[1]);
+    }
     if ((cmd == "run" || cmd == "resume" || cmd == "train") && n >= 2) {
-      const int pop = n >= 3 ? std::atoi(args[2].c_str()) : 80;
-      const int gens = n >= 4 ? std::atoi(args[3].c_str()) : 200;
+      require_dataset(args[1]);
+      const int pop = n >= 3 ? parse_pos("population", args[2]) : 80;
+      const int gens = n >= 4 ? parse_pos("generations", args[3]) : 200;
       const std::string out = n >= 5 ? args[4] : "";
       return cmd_run(args[1], pop, gens, out, cmd == "resume",
                      cmd == "train");
     }
-    if (cmd == "evaluate" && n >= 3) return cmd_evaluate(args[1], args[2]);
-    if (cmd == "export" && n >= 4)
+    if (cmd == "campaign") {
+      const int pop = n >= 2 ? parse_pos("population", args[1]) : 80;
+      const int gens = n >= 3 ? parse_pos("generations", args[2]) : 200;
+      return cmd_campaign(pop, gens);
+    }
+    if (cmd == "evaluate" && n >= 3) {
+      require_dataset(args[2]);
+      return cmd_evaluate(args[1], args[2]);
+    }
+    if (cmd == "export" && n >= 4) {
+      require_dataset(args[2]);
       return cmd_export(args[1], args[2], args[3]);
-  } catch (const std::exception& e) {
+    }
+  } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // Runtime failures (corrupt artifacts, I/O, ...) exit 1; only
+    // UsageError above maps to the usage exit code 2.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
     return 1;
   }
   return usage();

@@ -2,9 +2,15 @@
 # Run the Table III runtime benchmark and emit BENCH_table3.json so PRs can
 # track a perf trajectory. Runs the benchmark twice — serial (PMLP_THREADS=1)
 # and parallel (PMLP_THREADS=0, i.e. all hardware threads) — and records
-# per-dataset trainer seconds, the per-stage FlowEngine wall times (split,
-# backprop, baseline, GA, refine, hardware analysis, select), the
-# hardware-analysis speedup, and the aggregate GA parallel speedup.
+# per-dataset trainer seconds, the per-stage CampaignRunner wall times
+# (split, backprop, baseline, GA, refine, hardware analysis, select), the
+# shared-pool campaign speedup (the five Fig. 2 flows scheduled concurrently
+# over ONE worker pool) and the intra-run GA pool speedup.
+#
+# Each section records the thread count the bench ACTUALLY used (parsed from
+# its ThreadsUsed/Campaign output, not os.cpu_count()), and the script fails
+# loudly if the bench ignored PMLP_THREADS — so every recorded speedup stays
+# attributable to a known serial/parallel configuration.
 #
 # Usage: tools/run_bench.sh [build-dir] [out.json]
 # Scale knobs (forwarded to the bench): PMLP_POP, PMLP_GENS, PMLP_EPOCHS,
@@ -26,9 +32,10 @@ export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
 
 # Prints dataset rows as "name grad_s ga_s gaaxc_s", one final
 # "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, per-stage
-# "STAGE name seconds" rows, a "HWCAND n" row and a "REFINE trials aborts
-# bits biases" row, with the paper's parenthesized reference minutes
-# stripped.
+# "STAGE name seconds" rows, a "HWCAND n" row, a "REFINE trials aborts
+# bits biases" row, a "THREADS n" row (the intra-run knob the bench
+# resolved) and a "CAMPAIGN flows pool_threads wall stage_wall flows_per_s"
+# row, with the paper's parenthesized reference minutes stripped.
 run_once() {
   PMLP_THREADS="$1" "$BENCH" |
     sed 's/([^)]*)//g' |
@@ -41,7 +48,11 @@ run_once() {
          $1 == "HwCandidates" \
          {printf "HWCAND %s\n", $2}
          $1 == "RefineStats" \
-         {printf "REFINE %s %s %s %s\n", $3, $5, $7, $9}'
+         {printf "REFINE %s %s %s %s\n", $3, $5, $7, $9}
+         $1 == "ThreadsUsed" \
+         {printf "THREADS %s\n", $2}
+         $1 == "Campaign" \
+         {printf "CAMPAIGN %s %s %s %s %s\n", $3, $5, $7, $9, $11}'
 }
 
 echo "running bench_table3_runtime serial (PMLP_THREADS=1)..." >&2
@@ -53,75 +64,121 @@ python3 - "$OUT" <<PY
 import json, os, sys
 
 def parse(block):
-    rows, perf, stages, hw_cand, refine = {}, {}, {}, 0, {}
+    out = {"rows": {}, "perf": {}, "stages": {}, "hw_cand": 0, "refine": {},
+           "threads": None, "campaign": {}}
     for line in block.strip().splitlines():
         fields = line.split()
         if fields[0] == "THROUGHPUT":
-            perf = {"evals_per_s": float(fields[1]),
-                    "total_evals": int(fields[2]),
-                    "cache_hit_rate": float(fields[3])}
-            continue
-        if fields[0] == "STAGE":
-            stages[fields[1]] = float(fields[2])
-            continue
-        if fields[0] == "HWCAND":
-            hw_cand = int(fields[1])
-            continue
-        if fields[0] == "REFINE":
-            refine = {"trials": int(fields[1]), "early_aborts": int(fields[2]),
-                      "bits_cleared": int(fields[3]),
-                      "biases_simplified": int(fields[4])}
-            continue
-        name, grad, ga, axc = fields
-        rows[name] = {"grad_s": float(grad), "ga_s": float(ga),
-                      "gaaxc_s": float(axc)}
-    return rows, perf, stages, hw_cand, refine
+            out["perf"] = {"evals_per_s": float(fields[1]),
+                           "total_evals": int(fields[2]),
+                           "cache_hit_rate": float(fields[3])}
+        elif fields[0] == "STAGE":
+            out["stages"][fields[1]] = float(fields[2])
+        elif fields[0] == "HWCAND":
+            out["hw_cand"] = int(fields[1])
+        elif fields[0] == "REFINE":
+            out["refine"] = {"trials": int(fields[1]),
+                             "early_aborts": int(fields[2]),
+                             "bits_cleared": int(fields[3]),
+                             "biases_simplified": int(fields[4])}
+        elif fields[0] == "THREADS":
+            out["threads"] = int(fields[1])
+        elif fields[0] == "CAMPAIGN":
+            out["campaign"] = {"flows": int(fields[1]),
+                               "pool_threads": int(fields[2]),
+                               "wall_s": float(fields[3]),
+                               "stage_wall_s": float(fields[4]),
+                               "flows_per_s": float(fields[5])}
+        else:
+            name, grad, ga, axc = fields
+            out["rows"][name] = {"grad_s": float(grad), "ga_s": float(ga),
+                                 "gaaxc_s": float(axc)}
+    return out
 
-serial, serial_perf, serial_stages, hw_cand, serial_refine = parse("""$SERIAL""")
-parallel, parallel_perf, parallel_stages, _, _ = parse("""$PARALLEL""")
-total_serial = sum(r["gaaxc_s"] + r["ga_s"] for r in serial.values())
-total_parallel = sum(r["gaaxc_s"] + r["ga_s"] for r in parallel.values())
-hw_serial = serial_stages.get("hardware", 0.0)
-hw_parallel = parallel_stages.get("hardware", 0.0)
+serial = parse("""$SERIAL""")
+parallel = parse("""$PARALLEL""")
+
+# Attributability guard: the serial section must really have run on one
+# worker, and both sections must report what they used. A bench that
+# ignores PMLP_THREADS makes every speedup below meaningless.
+for section, cfg in (("serial", serial), ("parallel", parallel)):
+    if cfg["threads"] is None or not cfg["campaign"]:
+        sys.exit(f"error: {section} bench output is missing its "
+                 "ThreadsUsed/Campaign rows — PMLP_THREADS not recorded")
+if serial["threads"] != 1 or serial["campaign"]["pool_threads"] != 1:
+    sys.exit("error: PMLP_THREADS=1 was ignored (serial section reports "
+             f"{serial['threads']} intra-run / "
+             f"{serial['campaign']['pool_threads']} pool threads)")
+if os.cpu_count() > 1 and parallel["campaign"]["pool_threads"] <= 1:
+    sys.exit("error: PMLP_THREADS=0 was ignored (parallel section still "
+             "reports a 1-worker pool)")
+
+# The accuracy-only GA reference runs outside the campaign with
+# PMLP_THREADS-wide intra-run fitness evaluation; its serial/parallel
+# ratio is the worker-pool effectiveness figure (key kept from earlier
+# revisions). GA-AxC flows now run INSIDE the shared-pool campaign with
+# their stages serial, so flow-level parallelism is measured by the
+# campaign block instead.
+ga_serial = sum(r["ga_s"] for r in serial["rows"].values())
+ga_parallel = sum(r["ga_s"] for r in parallel["rows"].values())
+camp_serial = serial["campaign"]["wall_s"]
+camp_parallel = parallel["campaign"]["wall_s"]
 doc = {
     "bench": "table3_runtime",
     "hardware_threads": os.cpu_count(),
+    # Thread counts each section ACTUALLY used (bench-reported).
+    "threads": {"serial": serial["threads"], "parallel": parallel["threads"],
+                "campaign_pool": {
+                    "serial": serial["campaign"]["pool_threads"],
+                    "parallel": parallel["campaign"]["pool_threads"]}},
     "scale": {k: int(os.environ[k])
               for k in ("PMLP_POP", "PMLP_GENS", "PMLP_EPOCHS")},
-    "serial": serial,
-    "parallel": parallel,
-    "ga_total_serial_s": round(total_serial, 3),
-    "ga_total_parallel_s": round(total_parallel, 3),
-    "parallel_speedup": round(total_serial / max(total_parallel, 1e-9), 3),
-    # FlowEngine per-stage wall times (seconds summed over the 5 datasets)
-    # for the serial and all-hardware-threads runs.
-    "flow_stages": {"serial": serial_stages, "parallel": parallel_stages},
+    "serial": serial["rows"],
+    "parallel": parallel["rows"],
+    "ga_total_serial_s": round(ga_serial, 3),
+    "ga_total_parallel_s": round(ga_parallel, 3),
+    "parallel_speedup": round(ga_serial / max(ga_parallel, 1e-9), 3),
+    # The Table I suite as one shared-pool campaign: five flows scheduled
+    # stage-by-stage over a single worker pool, vs the same flows on a
+    # 1-worker pool (i.e. sequential). THE flow-level parallelism figure.
+    "campaign": {
+        "flows": parallel["campaign"]["flows"],
+        "serial_wall_s": round(camp_serial, 3),
+        "shared_pool_wall_s": round(camp_parallel, 3),
+        "speedup": round(camp_serial / max(camp_parallel, 1e-9), 3),
+        "flows_per_s": {
+            "serial": round(serial["campaign"]["flows_per_s"], 4),
+            "shared_pool": round(parallel["campaign"]["flows_per_s"], 4)},
+        "stage_wall_s": {
+            "serial": round(serial["campaign"]["stage_wall_s"], 3),
+            "shared_pool": round(parallel["campaign"]["stage_wall_s"], 3)},
+    },
+    # CampaignRunner per-stage wall times (seconds summed over the 5
+    # datasets; stages run serially on their worker in both sections, so
+    # these are compute walls — campaign overlap is reported above).
+    "flow_stages": {"serial": serial["stages"],
+                    "parallel": parallel["stages"]},
     # The right half of Fig. 2: netlist build + EGFET pricing + equivalence
-    # check per candidate, fanned out over the worker pool.
+    # check per candidate (serial-section compute wall).
     "hardware_analysis": {
-        "candidates": hw_cand,
-        "serial_s": round(hw_serial, 4),
-        "parallel_s": round(hw_parallel, 4),
-        "speedup": round(hw_serial / max(hw_parallel, 1e-9), 3),
+        "candidates": serial["hw_cand"],
+        "serial_s": round(serial["stages"].get("hardware", 0.0), 4),
     },
     # Post-GA greedy refinement through the incremental RefineEngine
-    # (memoized forward state + delta updates + early-abort accuracy),
-    # fanned out per Pareto point over the worker pool.
+    # (memoized forward state + delta updates + early-abort accuracy).
     "refine_stage": {
-        "trials": serial_refine.get("trials", 0),
+        "trials": serial["refine"].get("trials", 0),
         "early_abort_rate": round(
-            serial_refine.get("early_aborts", 0)
-            / max(serial_refine.get("trials", 0), 1), 4),
-        "bits_cleared": serial_refine.get("bits_cleared", 0),
-        "biases_simplified": serial_refine.get("biases_simplified", 0),
-        "serial_s": round(serial_stages.get("refine", 0.0), 4),
-        "parallel_s": round(parallel_stages.get("refine", 0.0), 4),
-        "speedup": round(serial_stages.get("refine", 0.0)
-                         / max(parallel_stages.get("refine", 0.0), 1e-9), 3),
+            serial["refine"].get("early_aborts", 0)
+            / max(serial["refine"].get("trials", 0), 1), 4),
+        "bits_cleared": serial["refine"].get("bits_cleared", 0),
+        "biases_simplified": serial["refine"].get("biases_simplified", 0),
+        "serial_s": round(serial["stages"].get("refine", 0.0), 4),
     },
     # GA-AxC evaluation-engine throughput (compiled sparse inference +
     # genome memo cache); the per-PR perf trajectory figure.
-    "eval_throughput": {"serial": serial_perf, "parallel": parallel_perf},
+    "eval_throughput": {"serial": serial["perf"],
+                        "parallel": parallel["perf"]},
 }
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2)
