@@ -1,9 +1,11 @@
 #include "pmlp/core/serialize.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -727,6 +729,160 @@ std::vector<HwEvaluatedPoint> load_evaluated_points(std::istream& is) {
     points.push_back(std::move(p));
   }
   throw std::invalid_argument("load_evaluated_points: missing end");
+}
+
+// ---------------------------------------------------------- front artifacts
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Exact-precision double from one index.tsv field (the writer emits
+/// max_digits10 decimal digits, which round-trip IEEE-754 exactly).
+double parse_index_double(const std::string& field, const std::string& line) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (field.empty() || end != field.c_str() + field.size() ||
+      errno == ERANGE) {
+    throw std::invalid_argument("load_front_dir: bad numeric field '" +
+                                field + "' in index row '" + line + "'");
+  }
+  return v;
+}
+
+/// True when `name` looks like a front model artifact (front_*.model) — the
+/// namespace the index is authoritative over. Other files in the directory
+/// (index.tsv itself, notes, ...) are none of our business.
+bool is_front_model_name(const std::string& name) {
+  return name.size() > 12 && name.rfind("front_", 0) == 0 &&
+         name.compare(name.size() - 6, 6, ".model") == 0;
+}
+
+}  // namespace
+
+std::vector<FrontEntry> load_front_dir(const std::string& dir) {
+  const fs::path root(dir);
+  std::ifstream index(root / "index.tsv");
+  if (!index) {
+    throw std::runtime_error("load_front_dir: cannot read " +
+                             (root / "index.tsv").string());
+  }
+  std::string line;
+  if (!std::getline(index, line) ||
+      line.rfind("file\ttest_accuracy\tarea_cm2\tpower_mw", 0) != 0) {
+    throw std::invalid_argument("load_front_dir: bad index.tsv header in " +
+                                dir);
+  }
+  std::vector<FrontEntry> entries;
+  while (std::getline(index, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream ls(line);
+    while (std::getline(ls, field, '\t')) fields.push_back(field);
+    if (fields.size() != 5) {
+      throw std::invalid_argument("load_front_dir: expected 5 fields in "
+                                  "index row '" + line + "'");
+    }
+    FrontEntry e;
+    e.file = fields[0];
+    if (!is_front_model_name(e.file)) {
+      throw std::invalid_argument("load_front_dir: index names '" + e.file +
+                                  "', not a front_*.model file");
+    }
+    for (const auto& prior : entries) {
+      if (prior.file == e.file) {
+        throw std::invalid_argument("load_front_dir: duplicate index entry '" +
+                                    e.file + "'");
+      }
+    }
+    e.test_accuracy = parse_index_double(fields[1], line);
+    e.area_cm2 = parse_index_double(fields[2], line);
+    e.power_mw = parse_index_double(fields[3], line);
+    if (fields[4] != "0" && fields[4] != "1") {
+      throw std::invalid_argument("load_front_dir: bad functional_match in "
+                                  "index row '" + line + "'");
+    }
+    e.functional_match = fields[4] == "1";
+    const fs::path model_path = root / e.file;
+    std::error_code ec;
+    if (!fs::exists(model_path, ec)) {
+      throw std::invalid_argument("load_front_dir: index names missing file " +
+                                  model_path.string());
+    }
+    e.model = load_model_file(model_path.string());
+    entries.push_back(std::move(e));
+  }
+  // The index is authoritative: any front_*.model on disk that it does not
+  // name is a stale artifact from an earlier, larger front — reject rather
+  // than glob, so a consumer can never serve a model nothing vouches for.
+  for (const auto& ent : fs::directory_iterator(root)) {
+    const std::string name = ent.path().filename().string();
+    if (!is_front_model_name(name)) continue;
+    const bool indexed =
+        std::any_of(entries.begin(), entries.end(),
+                    [&](const FrontEntry& e) { return e.file == name; });
+    if (!indexed) {
+      throw std::invalid_argument("load_front_dir: stale model file '" +
+                                  name + "' in " + dir +
+                                  " is not named by index.tsv");
+    }
+  }
+  return entries;
+}
+
+std::vector<FrontEntry> load_front_tree(const std::string& dir) {
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    throw std::runtime_error("load_front_tree: '" + dir +
+                             "' is not a directory");
+  }
+  // Deterministic entry order regardless of directory_iterator order.
+  std::vector<std::string> flows;
+  for (const auto& ent : fs::directory_iterator(root)) {
+    if (ent.is_directory() && fs::exists(ent.path() / "evaluated.txt", ec)) {
+      flows.push_back(ent.path().filename().string());
+    }
+  }
+  std::sort(flows.begin(), flows.end());
+  std::vector<FrontEntry> entries;
+  for (const auto& flow : flows) {
+    std::ifstream is(root / flow / "evaluated.txt");
+    if (!is) {
+      throw std::runtime_error("load_front_tree: cannot read " +
+                               (root / flow / "evaluated.txt").string());
+    }
+    auto front = true_pareto(load_evaluated_points(is));
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      char name[40];
+      std::snprintf(name, sizeof name, "front_%03zu.model", i);
+      FrontEntry e;
+      e.file = flow + "/" + name;
+      e.test_accuracy = front[i].test_accuracy;
+      e.area_cm2 = front[i].cost.area_cm2();
+      e.power_mw = front[i].cost.power_mw();
+      e.functional_match = front[i].functional_match;
+      e.model = std::move(front[i].model);
+      entries.push_back(std::move(e));
+    }
+  }
+  if (entries.empty()) {
+    throw std::runtime_error(
+        "load_front_tree: no flow under '" + dir +
+        "' has reached the hardware stage (no evaluated.txt)");
+  }
+  return entries;
+}
+
+std::vector<FrontEntry> load_front_any(const std::string& dir) {
+  std::error_code ec;
+  if (fs::exists(fs::path(dir) / "index.tsv", ec)) {
+    return load_front_dir(dir);
+  }
+  return load_front_tree(dir);
 }
 
 // --------------------------------------------------------------- hexfloats

@@ -89,6 +89,42 @@ void save_evaluated_points(std::span<const HwEvaluatedPoint> points,
 [[nodiscard]] std::vector<HwEvaluatedPoint> load_evaluated_points(
     std::istream& is);
 
+// ----------------------------------------------------------- front artifacts
+// A --save-front directory is the CLI's serving artifact: one front_NNN.model
+// file per true-Pareto design plus an index.tsv naming every file with its
+// exact test accuracy / area / power (written with max_digits10 precision, so
+// the index round-trips the doubles bit-exactly and model-selection queries
+// never tie-break on rounded values).
+
+/// One served design: the index row plus the parsed model artifact.
+struct FrontEntry {
+  std::string file;              ///< index entry, e.g. "front_000.model"
+  double test_accuracy = 0.0;
+  double area_cm2 = 0.0;
+  double power_mw = 0.0;
+  bool functional_match = true;
+  ApproxMlp model;
+};
+
+/// Strict loader of a --save-front directory: parses index.tsv, loads every
+/// file it names, and REJECTS (std::invalid_argument) an index naming a
+/// missing/corrupt file, a duplicate entry, or a directory holding any
+/// front_*.model file the index does not name — a stale model from an
+/// earlier, larger front must never be served by accident. Throws
+/// std::runtime_error when the directory or index.tsv cannot be read.
+[[nodiscard]] std::vector<FrontEntry> load_front_dir(const std::string& dir);
+
+/// Loader for a campaign checkpoint tree (campaign.hpp layout): every flow
+/// subdirectory holding an evaluated.txt contributes its true-Pareto subset
+/// as entries named "<flow>/front_NNN.model". Flows that have not reached
+/// the hardware stage yet are skipped (a live campaign can be served while
+/// it runs); an empty result throws std::runtime_error.
+[[nodiscard]] std::vector<FrontEntry> load_front_tree(const std::string& dir);
+
+/// Serve-path entry point: a directory with an index.tsv loads as a front
+/// directory, anything else as a campaign checkpoint tree.
+[[nodiscard]] std::vector<FrontEntry> load_front_any(const std::string& dir);
+
 /// FNV-1a digest over a dataset's name, shape, features and labels — the
 /// checkpoint's guard against resuming onto different data.
 [[nodiscard]] std::uint64_t dataset_digest(const datasets::Dataset& d);

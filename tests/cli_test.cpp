@@ -13,7 +13,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
+
+#include "pmlp/core/serialize.hpp"
 
 namespace fs = std::filesystem;
 
@@ -133,6 +136,96 @@ TEST(Cli, UnconsumedFlagsRejectedBeforeTraining) {
   expect_usage_error(run, "--seeds is not supported");
   const auto listed = run_cli("list --datasets BreastCancer");
   expect_usage_error(listed, "--datasets is not supported");
+}
+
+TEST(Cli, SaveFrontRerunRemovesStaleModels) {
+  // A rerun producing a smaller front must not leave models from the
+  // previous, larger front behind: the directory is republished atomically
+  // (write .tmp sibling, rename into place), so after the run it holds
+  // exactly the indexed files — nothing stale, no leftover staging dirs.
+  const fs::path dir =
+      fs::temp_directory_path() / "pmlp_cli_test_front_rerun";
+  fs::remove_all(dir);
+  // Exit 1 just means no design fell within the 5% loss budget at this tiny
+  // GA budget; the front is saved either way. Only usage errors (2) or a
+  // crash would invalidate the setup.
+  const auto first =
+      run_cli("run BreastCancer 8 2 --save-front " + dir.string());
+  ASSERT_TRUE(first.status == 0 || first.status == 1) << first.out;
+  ASSERT_TRUE(fs::exists(dir / "index.tsv")) << first.out;
+  // Plant a stale model a glob-based loader would happily serve.
+  std::ofstream(dir / "front_099.model") << "stale leftover\n";
+  const auto second =
+      run_cli("run BreastCancer 8 2 --save-front " + dir.string());
+  ASSERT_TRUE(second.status == 0 || second.status == 1) << second.out;
+  EXPECT_FALSE(fs::exists(dir / "front_099.model"));
+  EXPECT_FALSE(fs::exists(dir.string() + ".tmp"));
+  EXPECT_FALSE(fs::exists(dir.string() + ".old"));
+  // The strict loader accepts the directory (it rejects any unindexed
+  // front_*.model), and the on-disk set matches the index exactly.
+  const auto entries = pmlp::core::load_front_dir(dir.string());
+  ASSERT_FALSE(entries.empty());
+  std::set<std::string> on_disk;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    on_disk.insert(ent.path().filename().string());
+  }
+  std::set<std::string> expected = {"index.tsv"};
+  for (const auto& e : entries) expected.insert(e.file);
+  EXPECT_EQ(on_disk, expected);
+  fs::remove_all(dir);
+}
+
+TEST(Cli, ServeFlagsRejectedOnOtherSubcommands) {
+  // The ignored-flag table must cover the serve flags both ways round.
+  const auto serve_seeds = run_cli("serve --seeds 3 somedir");
+  expect_usage_error(serve_seeds, "--seeds is not supported");
+  const auto campaign_port = run_cli("campaign --port 9000 8 1");
+  expect_usage_error(campaign_port, "--port is not supported");
+  const auto run_batch = run_cli("run BreastCancer 8 1 --batch 4");
+  expect_usage_error(run_batch, "--batch is not supported");
+}
+
+TEST(Cli, ServeMissingDirectoryIsUsageError) {
+  const auto r = run_cli("serve /nonexistent_dir_xyz/front");
+  expect_usage_error(r, "does not exist or is not a directory");
+}
+
+TEST(Cli, ServeBadPortRejected) {
+  const auto r = run_cli("serve --port 99999 somedir");
+  EXPECT_EQ(r.status, 2) << r.out;
+}
+
+TEST(Cli, ClassifyBadCodesAreUsageErrors) {
+  const fs::path dir =
+      fs::temp_directory_path() / "pmlp_cli_test_classify";
+  fs::remove_all(dir);
+  const auto setup =
+      run_cli("run BreastCancer 8 2 --save-front " + dir.string());
+  ASSERT_TRUE(setup.status == 0 || setup.status == 1) << setup.out;
+  ASSERT_TRUE(fs::exists(dir / "front_000.model")) << setup.out;
+  const std::string model = (dir / "front_000.model").string();
+  // Wrong arity (BreastCancer has 10 features).
+  const auto arity = run_cli("classify " + model + " 1 2 3");
+  expect_usage_error(arity, "feature codes");
+  // Non-numeric code.
+  const auto garbled =
+      run_cli("classify " + model + " 1 2 3 4 5 6 7 8 9 x");
+  expect_usage_error(garbled, "feature code 'x'");
+  // Out of range for 4-bit inputs.
+  const auto range =
+      run_cli("classify " + model + " 1 2 3 4 5 6 7 8 9 16");
+  expect_usage_error(range, "feature code '16'");
+  // A valid request prints a bare class id and exits 0.
+  const auto good =
+      run_cli("classify " + model + " 1 2 3 4 5 6 7 8 9 10");
+  EXPECT_EQ(good.status, 0) << good.out;
+  fs::remove_all(dir);
+}
+
+TEST(Cli, ClassifyMissingModelIsRuntimeFailure) {
+  const auto r = run_cli("classify /nonexistent_dir_xyz/m.model 1 2 3");
+  EXPECT_EQ(r.status, 1) << r.out;
+  EXPECT_NE(r.out.find("error:"), std::string::npos) << r.out;
 }
 
 TEST(Cli, CorruptModelIsRuntimeFailureNotUsageError) {

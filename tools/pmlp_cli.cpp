@@ -27,6 +27,23 @@
 //                                     --json FILE writes the aggregated
 //                                     campaign report. Per-flow fronts are
 //                                     bit-identical to N independent runs.
+//   pmlp serve <front-dir>            long-lived classify server over a
+//                                     --save-front directory or a campaign
+//                                     checkpoint tree: line protocol on a
+//                                     localhost TCP socket (--port N; 0 =
+//                                     OS-assigned, printed as "listening
+//                                     127.0.0.1 PORT"), request batching
+//                                     (--batch N) over the --threads pool,
+//                                     `reload` hot-swaps a re-read front,
+//                                     `stop` / SIGINT shut down gracefully
+//   pmlp classify <model> <code...>   classify ONE quantized feature vector
+//                                     with a saved model (the offline
+//                                     reference for serve answers)
+//
+// Serve options:
+//   --port N                          TCP port (default 0 = OS-assigned)
+//   --batch N                         max requests per dispatched batch
+//                                     (default 64)
 //
 // Campaign options:
 //   --datasets A,B,C                  Table I subset (default: all five)
@@ -58,12 +75,15 @@
 // Datasets are the synthetic paper suite; swap in real UCI files by loading
 // through pmlp::datasets::load_uci in your own driver.
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -73,8 +93,10 @@
 #include <vector>
 
 #include "pmlp/core/campaign.hpp"
+#include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/flow_engine.hpp"
 #include "pmlp/core/serialize.hpp"
+#include "pmlp/core/serve.hpp"
 #include "pmlp/core/suite.hpp"
 #include "pmlp/core/thread_pool.hpp"
 #include "pmlp/datasets/metrics.hpp"
@@ -127,6 +149,10 @@ std::string g_datasets;        // --datasets A,B,C (campaign; "" = all five)
 int g_seeds = 1;               // --seeds K (campaign: GA seeds 1..K)
 bool g_seeds_set = false;      // --seeds was given explicitly
 bool g_resume = false;         // --resume (campaign)
+int g_port = 0;                // --port N (serve; 0 = OS-assigned)
+bool g_port_set = false;       // --port was given explicitly
+int g_batch = 64;              // --batch N (serve: max requests per batch)
+bool g_batch_set = false;      // --batch was given explicitly
 
 /// Usage-level argument errors throw this; main() maps it to exit code 2
 /// (runtime failures exit 1) instead of letting anything escape uncaught.
@@ -152,6 +178,7 @@ void require_dataset(const std::string& name) {
 void reject_unused_flags(const std::string& cmd) {
   const bool run_like = cmd == "run" || cmd == "resume" || cmd == "train";
   const bool campaign = cmd == "campaign";
+  const bool serve = cmd == "serve";
   struct Check {
     const char* flag;
     bool set;
@@ -164,6 +191,8 @@ void reject_unused_flags(const std::string& cmd) {
       {"--save-front", !g_save_front.empty(), run_like},
       {"--checkpoint", !g_checkpoint.empty(), run_like || campaign},
       {"--json", !g_json.empty(), run_like || campaign},
+      {"--port", g_port_set, serve},
+      {"--batch", g_batch_set, serve},
   };
   for (const auto& c : checks) {
     if (c.set && !c.consumed) {
@@ -251,23 +280,59 @@ int cmd_baseline(const std::string& dataset) {
   return 0;
 }
 
-void save_front(const core::FlowResult& result, const std::string& dir) {
-  std::filesystem::create_directories(dir);
-  std::ofstream index(std::filesystem::path(dir) / "index.tsv");
-  if (!index) {
-    throw std::runtime_error("cannot write " + dir + "/index.tsv");
+/// An existing --save-front path must be a directory we can replace; reject
+/// a file in its place up front, like --checkpoint (the rename at the end
+/// of save_front would otherwise fail after the whole training run).
+void validate_save_front_path(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  if (std::filesystem::exists(dir, ec) &&
+      !std::filesystem::is_directory(dir, ec)) {
+    throw UsageError("--save-front path '" + dir +
+                     "' exists and is not a directory");
   }
+}
+
+/// Publish the front atomically, like the --json JsonSink: write everything
+/// into a `.tmp` sibling directory, then rename into place, removing any
+/// previous directory only after the new one is complete. A rerun with a
+/// smaller front therefore never leaves stale front_NNN.model files from an
+/// earlier run next to a fresh index.tsv, and a killed run never leaves a
+/// half-written directory under the published name.
+void save_front(const core::FlowResult& result, const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path target(dir);
+  const fs::path tmp(dir + ".tmp");
+  const fs::path old(dir + ".old");
+  fs::remove_all(tmp);  // leftovers of a previously killed run
+  fs::remove_all(old);
+  fs::create_directories(tmp);
+  std::ofstream index(tmp / "index.tsv");
+  if (!index) {
+    throw std::runtime_error("cannot write " + (tmp / "index.tsv").string());
+  }
+  // max_digits10 round-trips the doubles exactly, so the index always
+  // agrees with the model artifacts and selector queries never tie-break
+  // on rounded values.
+  index << std::setprecision(std::numeric_limits<double>::max_digits10);
   index << "file\ttest_accuracy\tarea_cm2\tpower_mw\tfunctional_match\n";
   for (std::size_t i = 0; i < result.front.size(); ++i) {
     const auto& p = result.front[i];
-    char name[32];
+    char name[40];
     std::snprintf(name, sizeof name, "front_%03zu.model", i);
-    core::save_model_file(p.model,
-                          (std::filesystem::path(dir) / name).string());
+    core::save_model_file(p.model, (tmp / name).string());
     index << name << '\t' << p.test_accuracy << '\t' << p.cost.area_cm2()
           << '\t' << p.cost.power_mw() << '\t'
           << (p.functional_match ? 1 : 0) << '\n';
   }
+  index.flush();
+  if (!index) {
+    throw std::runtime_error("short write to " + (tmp / "index.tsv").string());
+  }
+  index.close();
+  if (fs::exists(target)) fs::rename(target, old);
+  fs::rename(tmp, target);
+  fs::remove_all(old);
   std::cerr << "saved " << result.front.size() << " front designs + index to "
             << dir << "\n";
 }
@@ -276,6 +341,7 @@ int cmd_run(const std::string& dataset, int pop, int gens,
             const std::string& model_out, bool is_resume, bool legacy) {
   const auto& row = mlp::paper_row(dataset);
   validate_checkpoint_path(g_checkpoint);
+  validate_save_front_path(g_save_front);
   auto json_sink = open_json_sink();  // fail an unwritable --json up front
   if (is_resume) {
     if (g_checkpoint.empty()) {
@@ -518,6 +584,78 @@ int cmd_evaluate(const std::string& model_path, const std::string& dataset) {
   return 0;
 }
 
+core::FrontServer* g_server = nullptr;  // SIGINT -> graceful stop
+
+void serve_sigint(int) {
+  if (g_server != nullptr) g_server->request_stop();  // one atomic store
+}
+
+int cmd_serve(const std::string& dir) {
+  {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) {
+      throw UsageError("serve: front directory '" + dir +
+                       "' does not exist or is not a directory");
+    }
+  }
+  core::ServeConfig cfg;
+  cfg.n_threads = g_threads;
+  cfg.max_batch = g_batch;
+  cfg.port = g_port;
+  core::FrontServer server(dir, cfg);  // bad artifacts -> runtime, exit 1
+  server.listen();
+  // The one machine-parseable stdout line: clients scrape the actual port.
+  std::cout << "listening 127.0.0.1 " << server.port() << "\n" << std::flush;
+  std::cerr << "serving " << server.models().size() << " models from " << dir
+            << " (pool of " << server.pool_size() << " workers, batch "
+            << cfg.max_batch << "); `stop` or SIGINT shuts down\n";
+  g_server = &server;
+  std::signal(SIGINT, serve_sigint);
+  std::signal(SIGTERM, serve_sigint);
+  server.serve_forever();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  const auto stats = server.stats();
+  std::cerr << "served " << stats.requests << " requests in " << stats.batches
+            << " batches (max batch " << stats.max_batch << ", avg fill "
+            << stats.batch_fill() << ") over " << stats.connections
+            << " connections, " << stats.reloads << " reloads\n";
+  return 0;
+}
+
+/// Offline reference for serve answers: classify one quantized feature
+/// vector through the same CompiledNet path the server executes.
+int cmd_classify(const std::string& model_path,
+                 const std::vector<std::string>& code_args) {
+  const auto model = core::load_model_file(model_path);
+  const core::CompiledNet net(model);
+  if (static_cast<int>(code_args.size()) != net.n_inputs()) {
+    throw UsageError("classify: model expects " +
+                     std::to_string(net.n_inputs()) +
+                     " feature codes, got " +
+                     std::to_string(code_args.size()));
+  }
+  const unsigned max_code = (1u << model.bits().input_bits) - 1u;
+  std::vector<std::uint8_t> codes;
+  codes.reserve(code_args.size());
+  for (const auto& arg : code_args) {
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end != arg.c_str() + arg.size() || v < 0 ||
+        errno == ERANGE || static_cast<unsigned long>(v) > max_code) {
+      throw UsageError("classify: feature code '" + arg +
+                       "' is not in the input range 0.." +
+                       std::to_string(max_code));
+    }
+    codes.push_back(static_cast<std::uint8_t>(v));
+  }
+  core::EvalWorkspace ws;
+  std::cout << net.predict(codes, ws) << "\n";
+  return 0;
+}
+
 int cmd_export(const std::string& model_path, const std::string& dataset,
                const std::string& prefix) {
   const auto model = core::load_model_file(model_path);
@@ -552,9 +690,10 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
 int usage() {
   std::cerr << "usage: pmlp [--threads N] [--cache N] [--checkpoint DIR] "
                "[--json FILE] [--save-front DIR] [--datasets A,B,C] "
-               "[--seeds K] [--resume] "
-               "<list|metrics|baseline|run|resume|train|campaign|evaluate|"
-               "export> [args...]\n(see the header of tools/pmlp_cli.cpp)\n";
+               "[--seeds K] [--resume] [--port N] [--batch N] "
+               "<list|metrics|baseline|run|resume|train|campaign|serve|"
+               "classify|evaluate|export> [args...]\n"
+               "(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
 }
 
@@ -595,7 +734,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 ||
         std::strcmp(argv[i], "--cache") == 0 ||
-        std::strcmp(argv[i], "--seeds") == 0) {
+        std::strcmp(argv[i], "--seeds") == 0 ||
+        std::strcmp(argv[i], "--port") == 0 ||
+        std::strcmp(argv[i], "--batch") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -610,6 +751,20 @@ int main(int argc, char** argv) {
         }
         g_seeds = v;
         g_seeds_set = true;
+      } else if (std::strcmp(flag, "--port") == 0) {
+        if (v > 65535) {
+          std::cerr << "error: --port expects a TCP port in 0..65535\n";
+          return usage();
+        }
+        g_port = v;
+        g_port_set = true;
+      } else if (std::strcmp(flag, "--batch") == 0) {
+        if (v == 0) {
+          std::cerr << "error: --batch expects a positive int\n";
+          return usage();
+        }
+        g_batch = v;
+        g_batch_set = true;
       } else {
         (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
       }
@@ -664,6 +819,14 @@ int main(int argc, char** argv) {
       const int pop = n >= 2 ? parse_pos("population", args[1]) : 80;
       const int gens = n >= 3 ? parse_pos("generations", args[2]) : 200;
       return cmd_campaign(pop, gens);
+    }
+    if (cmd == "serve" && n >= 2) {
+      return cmd_serve(args[1]);
+    }
+    if (cmd == "classify" && n >= 3) {
+      return cmd_classify(args[1],
+                          std::vector<std::string>(args.begin() + 2,
+                                                   args.end()));
     }
     if (cmd == "evaluate" && n >= 3) {
       require_dataset(args[2]);

@@ -12,13 +12,20 @@
 # loudly if the bench ignored PMLP_THREADS — so every recorded speedup stays
 # attributable to a known serial/parallel configuration.
 #
-# Usage: tools/run_bench.sh [build-dir] [out.json]
+# Also runs the serving benchmark (bench_serve: batched FrontServer vs
+# one-thread-per-request) and emits BENCH_serve.json with p50/p99/QPS per
+# architecture, again recording the thread count the server ACTUALLY used
+# and failing loudly if PMLP_THREADS was ignored.
+#
+# Usage: tools/run_bench.sh [build-dir] [out.json] [serve-out.json]
 # Scale knobs (forwarded to the bench): PMLP_POP, PMLP_GENS, PMLP_EPOCHS,
-# PMLP_SC_SAMPLES. Defaults below keep a CI run to a few minutes.
+# PMLP_SC_SAMPLES, PMLP_SERVE_CLIENTS, PMLP_SERVE_REQS. Defaults below keep
+# a CI run to a few minutes.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_table3.json}"
+SERVE_OUT="${3:-BENCH_serve.json}"
 BENCH="$BUILD_DIR/bench/bench_table3_runtime"
 
 if [[ ! -x "$BENCH" ]]; then
@@ -187,3 +194,62 @@ print(json.dumps(doc, indent=2))
 PY
 
 echo "wrote $OUT" >&2
+
+# ----------------------------------------------------------------- serving
+SERVE_BENCH="$BUILD_DIR/bench/bench_serve"
+if [[ ! -x "$SERVE_BENCH" ]]; then
+  echo "error: $SERVE_BENCH not built" >&2
+  exit 1
+fi
+
+echo "running bench_serve (PMLP_THREADS=1)..." >&2
+SERVE=$(PMLP_THREADS=1 "$SERVE_BENCH")
+
+python3 - "$SERVE_OUT" <<PY
+import json, os, sys
+
+threads = None
+rows = {}
+speedup = None
+batch_fill = None
+for line in """$SERVE""".strip().splitlines():
+    fields = line.split()
+    if fields[0] == "ThreadsUsed":
+        threads = int(fields[1])
+    elif fields[0] == "ServeBench":
+        rows[fields[1]] = {"qps": float(fields[2]),
+                           "p50_us": float(fields[3]),
+                           "p99_us": float(fields[4])}
+    elif fields[0] == "ServeSpeedup":
+        speedup = float(fields[1])
+    elif fields[0] == "ServeBatchFill":
+        batch_fill = float(fields[1])
+
+# Attributability guard, same contract as the table3 sections: the bench
+# must report the pool size it resolved, and PMLP_THREADS=1 must really
+# have produced a 1-worker server.
+if threads is None or "naive" not in rows or "served" not in rows:
+    sys.exit("error: bench_serve output is missing its ThreadsUsed/"
+             "ServeBench rows")
+if threads != 1:
+    sys.exit(f"error: PMLP_THREADS=1 was ignored (server used {threads} "
+             "workers)")
+
+doc = {
+    "bench": "serve",
+    "hardware_threads": os.cpu_count(),
+    "threads": threads,
+    "clients": int(os.environ.get("PMLP_SERVE_CLIENTS", 4)),
+    "requests_per_client": int(os.environ.get("PMLP_SERVE_REQS", 2000)),
+    "naive_thread_per_request": rows["naive"],
+    "batched_server": rows["served"],
+    "qps_speedup": speedup,
+    "batch_fill": batch_fill,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+PY
+
+echo "wrote $SERVE_OUT" >&2
