@@ -1,12 +1,19 @@
 // google-benchmark micro suite for the hot kernels of the framework:
 // FA-count area estimation (the GA's inner loop), Eq. 4 inference,
-// chromosome decode, netlist build/simulate, and NSGA-II generations.
+// chromosome decode, netlist build/simulate, and the sample-blocked
+// predict_batch kernels (scalar vs the dispatched SIMD ISA, across batch
+// sizes and layer densities) — so kernel-level wins are measured in their
+// own tier, apart from flow wall time.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "pmlp/core/chromosome.hpp"
+#include "pmlp/core/eval_engine.hpp"
+#include "pmlp/core/simd.hpp"
 #include "pmlp/netlist/builders.hpp"
 
 namespace {
@@ -24,6 +31,35 @@ core::ApproxMlp make_model(std::uint64_t seed) {
         b.lo + static_cast<int>(rng() % static_cast<unsigned>(b.hi - b.lo + 1));
   }
   return codec.decode(genes);
+}
+
+/// Pendigits-sized model with controlled connection density: `sparse`
+/// prunes ~60% of masks (the shape evolved fronts actually have), dense
+/// keeps every connection live.
+core::ApproxMlp make_eval_model(std::uint64_t seed, bool sparse) {
+  const mlp::Topology topo{{16, 5, 10}};
+  core::ChromosomeCodec codec(topo, core::BitConfig{});
+  std::mt19937_64 rng(seed);
+  std::vector<int> genes(static_cast<std::size_t>(codec.n_genes()));
+  for (int g = 0; g < codec.n_genes(); ++g) {
+    const auto b = codec.bounds(g);
+    int v = b.lo +
+        static_cast<int>(rng() % static_cast<unsigned>(b.hi - b.lo + 1));
+    if (codec.kind(g) == core::GeneKind::kMask) {
+      v = sparse ? (rng() % 10 < 6 ? 0 : v) : b.hi;
+    }
+    genes[static_cast<std::size_t>(g)] = v;
+  }
+  return codec.decode(genes);
+}
+
+std::vector<std::uint8_t> make_codes(std::size_t n_samples, int n_features,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> codes(n_samples *
+                                  static_cast<std::size_t>(n_features));
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng() & 15u);
+  return codes;
 }
 
 void BM_FaAreaEstimate(benchmark::State& state) {
@@ -71,6 +107,59 @@ void BM_NetlistSimulate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetlistSimulate);
+
+/// The tentpole kernel: sample-blocked batched classification. args:
+/// (simd 0/1, batch size, sparse 0/1). simd=0 forces scalar dispatch,
+/// simd=1 uses the machine's best detected ISA — the reported label
+/// records which one actually ran, and items/s is samples classified/s.
+void BM_PredictBatch(benchmark::State& state) {
+  const bool use_simd = state.range(0) != 0;
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const bool sparse = state.range(2) != 0;
+  const auto model = make_eval_model(sparse ? 11 : 12, sparse);
+  const core::CompiledNet net(model);
+  const auto codes = make_codes(batch, net.n_inputs(), 21);
+  std::vector<std::int32_t> preds(batch);
+  core::EvalWorkspace ws;
+  const core::SimdIsa prev = core::active_simd_isa();
+  const core::SimdIsa isa = core::set_simd_isa(
+      use_simd ? core::detect_simd_isa() : core::SimdIsa::kScalar);
+  for (auto _ : state) {
+    net.predict_batch(codes.data(), batch, preds.data(), ws);
+    benchmark::DoNotOptimize(preds.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  state.SetLabel(core::simd_isa_name(isa));
+  core::set_simd_isa(prev);
+}
+BENCHMARK(BM_PredictBatch)
+    ->ArgsProduct({{0, 1}, {1, 32, 128}, {0, 1}})
+    ->ArgNames({"simd", "batch", "sparse"});
+
+/// Pre-batching reference: the same samples classified one predict() call
+/// at a time (the per-sample scalar path every consumer used before).
+void BM_PredictPerSample(benchmark::State& state) {
+  const bool sparse = state.range(0) != 0;
+  const auto model = make_eval_model(sparse ? 11 : 12, sparse);
+  const core::CompiledNet net(model);
+  constexpr std::size_t kBatch = 128;
+  const auto codes = make_codes(kBatch, net.n_inputs(), 21);
+  std::vector<std::int32_t> preds(kBatch);
+  core::EvalWorkspace ws;
+  const auto n_in = static_cast<std::size_t>(net.n_inputs());
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < kBatch; ++s) {
+      preds[s] = net.predict({codes.data() + s * n_in, n_in}, ws);
+    }
+    benchmark::DoNotOptimize(preds.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_PredictPerSample)->Arg(0)->Arg(1)->ArgName("sparse");
 
 void BM_AdderReduction(benchmark::State& state) {
   std::vector<int> heights(static_cast<std::size_t>(state.range(0)), 12);

@@ -12,6 +12,7 @@
 //   ServeBench served <qps> <p50_us> <p99_us>
 //   ServeSpeedup <served_qps / naive_qps>
 //   ServeBatchFill <avg requests per dispatched batch>
+//   ServeSimd <isa> <block>                  kernel dispatch + sweep block
 //
 // Scale knobs: PMLP_THREADS (pool size, 0 = all hardware threads),
 // PMLP_SERVE_CLIENTS (closed-loop clients, default 4), PMLP_SERVE_REQS
@@ -32,6 +33,7 @@
 #include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/core/serve.hpp"
+#include "pmlp/core/simd.hpp"
 
 namespace core = pmlp::core;
 namespace fs = std::filesystem;
@@ -219,6 +221,9 @@ int main() {
               served.p50_us, served.p99_us);
   std::printf("ServeSpeedup %.3f\n", served.qps / std::max(naive.qps, 1e-9));
   std::printf("ServeBatchFill %.3f\n", server.stats().batch_fill());
+  std::printf("ServeSimd %s %d\n",
+              core::simd_isa_name(core::active_simd_isa()),
+              core::CompiledNet::kBlockSamples);
   fs::remove_all(dir);
   return 0;
 }

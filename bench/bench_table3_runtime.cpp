@@ -18,6 +18,8 @@
 
 #include "bench_common.hpp"
 #include "pmlp/core/campaign.hpp"
+#include "pmlp/core/eval_engine.hpp"
+#include "pmlp/core/simd.hpp"
 #include "pmlp/core/suite.hpp"
 #include "pmlp/core/thread_pool.hpp"
 
@@ -127,6 +129,11 @@ int main() {
                               std::max<double>(static_cast<double>(axc_evals),
                                                1.0), 0, 4)
             << "\n";
+  // The kernel configuration those evals ran on (ISA the runtime dispatch
+  // picked + layer-sweep block size) — parsed into the same eval_throughput
+  // block so the per-PR trajectory stays comparable across machines.
+  std::cout << "SimdDispatch " << core::simd_isa_name(core::active_simd_isa())
+            << ' ' << core::CompiledNet::kBlockSamples << "\n";
   // Per-stage pipeline accounting (also parsed by tools/run_bench.sh).
   // Inside a campaign every stage runs serially on its worker, so these
   // are pure compute walls; flow-level overlap shows up in the Campaign

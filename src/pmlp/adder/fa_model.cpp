@@ -1,7 +1,9 @@
 #include "pmlp/adder/fa_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
+#include <stdexcept>
 
 #include "pmlp/bitops/bitops.hpp"
 
@@ -64,6 +66,77 @@ AdderCost estimate_adder(const NeuronAdderSpec& spec) {
   cost.acc_width = s.acc_width;
   cost.folded_constant = s.folded_constant;
   return cost;
+}
+
+int estimate_total_fa(const NeuronAdderSpec& spec) {
+  // Range analysis, exactly as analyze_neuron().
+  std::int64_t pos_max = 0;
+  std::int64_t neg_max = 0;
+  for (const auto& s : spec.summands) {
+    if (s.sign >= 0) {
+      pos_max += s.max_value();
+    } else {
+      neg_max += s.max_value();
+    }
+  }
+  const std::int64_t max_sum = pos_max + spec.bias;
+  const std::int64_t min_sum = -neg_max + spec.bias;
+  const int W = std::max(
+      {bitops::bit_width_signed(max_sum), bitops::bit_width_signed(min_sum),
+       2});
+  if (W > 62) {
+    throw std::invalid_argument("analyze_neuron: accumulator width > 62");
+  }
+  const std::uint64_t wmask = bitops::low_mask(W);
+
+  // Column heights (variable wires + folded-constant ones), stack-resident.
+  int heights[64] = {};
+  std::uint64_t constant = bitops::to_twos_complement(spec.bias, W);
+  for (const auto& s : spec.summands) {
+    std::uint64_t occ = s.occupancy() & wmask;
+    if (s.sign < 0 && !s.is_pruned()) {
+      constant = (constant + (~occ & wmask) + 1) & wmask;
+    }
+    while (occ != 0) {
+      heights[std::countr_zero(occ)] += 1;
+      occ &= occ - 1;
+    }
+  }
+  for (std::uint64_t k = constant; k != 0; k &= k - 1) {
+    heights[std::countr_zero(k)] += 1;
+  }
+
+  // 3:2 reduction rounds, same placement rule as reduce_columns() but
+  // without recording the schedule. Carries out of the MSB column drop
+  // (mod 2^W arithmetic).
+  int total = 0;
+  for (;;) {
+    bool needs_reduction = false;
+    for (int c = 0; c < W; ++c) {
+      if (heights[c] > 2) {
+        needs_reduction = true;
+        break;
+      }
+    }
+    if (!needs_reduction) break;
+    int carry = 0;
+    for (int c = 0; c < W; ++c) {
+      const int fa = heights[c] / 3;
+      total += fa;
+      heights[c] = heights[c] - 3 * fa + fa + carry;
+      carry = fa;
+    }
+  }
+
+  // Final carry-propagate adder span, as in reduce_columns().
+  int first_two = -1;
+  int last_any = -1;
+  for (int c = 0; c < W; ++c) {
+    if (heights[c] == 2 && first_two < 0) first_two = c;
+    if (heights[c] > 0) last_any = c;
+  }
+  if (first_two >= 0) total += last_any - first_two + 1;
+  return total;
 }
 
 long total_fa_count(const std::vector<NeuronAdderSpec>& neurons) {

@@ -42,6 +42,13 @@ struct AdderCost {
 /// Full neuron estimate: range analysis + constant folding + reduction.
 [[nodiscard]] AdderCost estimate_adder(const NeuronAdderSpec& spec);
 
+/// `estimate_adder(spec).total_fa()` without materializing the schedule:
+/// the same range analysis / folding / 3:2 reduction over fixed-size stack
+/// arrays, zero heap allocations. This is the GA's per-evaluation area
+/// path; `estimate_adder` stays the source of truth for netlist generation
+/// and the two are asserted identical by the adder tests.
+[[nodiscard]] int estimate_total_fa(const NeuronAdderSpec& spec);
+
 /// Paper Eq. 2: total FA count of an MLP = sum over neurons.
 [[nodiscard]] long total_fa_count(const std::vector<NeuronAdderSpec>& neurons);
 

@@ -1,12 +1,44 @@
 #include "pmlp/core/eval_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "pmlp/adder/fa_model.hpp"
 #include "pmlp/bitops/bitops.hpp"
+#include "pmlp/core/eval_kernels.hpp"
+#include "pmlp/core/simd.hpp"
 
 namespace pmlp::core {
+namespace {
+
+/// Static int32-safety proof for the blocked kernels: `(x & mask) <= mask`
+/// no matter the input, so |any partial accumulator| of neuron `o` is
+/// bounded by `|bias| + sum(mask << k)` over its connections. When every
+/// neuron's bound (and the QReLU clamp, and each shifted mask) fits int32,
+/// the narrow kernels compute exactly what the int64 sample loop does.
+bool layers_block_safe(const std::vector<CompiledLayer>& layers,
+                       std::int64_t act_max) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  if (act_max > kMax) return false;
+  for (const auto& layer : layers) {
+    for (int o = 0; o < layer.n_out; ++o) {
+      std::int64_t bound = layer.biases[static_cast<std::size_t>(o)];
+      bound = bound < 0 ? -bound : bound;
+      const std::int32_t end = layer.conn_begin[static_cast<std::size_t>(o) + 1];
+      for (std::int32_t c = layer.conn_begin[static_cast<std::size_t>(o)];
+           c < end; ++c) {
+        const CompiledConn& cc = layer.conns[static_cast<std::size_t>(c)];
+        if (cc.shift < 0 || cc.shift > 30 || cc.mask > kMax) return false;
+        bound += static_cast<std::int64_t>(cc.mask) << cc.shift;
+        if (bound > kMax) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 CompiledNet::CompiledNet(const ApproxMlp& net) {
   n_inputs_ = net.topology().n_inputs();
@@ -41,12 +73,14 @@ CompiledNet::CompiledNet(const ApproxMlp& net) {
             adder::SummandSpec{c.mask, layer.input_bits, c.exponent, c.sign});
       }
       cl.conn_begin.push_back(static_cast<std::int32_t>(cl.conns.size()));
-      fa_area_ += adder::estimate_adder(scratch).total_fa();
+      fa_area_ += adder::estimate_total_fa(scratch);
     }
     max_width_ = std::max(max_width_, cl.n_out);
     n_outputs_ = cl.n_out;
     layers_.push_back(std::move(cl));
   }
+  block_safe_ = !layers_.empty() && layers_block_safe(layers_, act_max_);
+  if (block_safe_) act_max32_ = static_cast<std::int32_t>(act_max_);
 }
 
 std::span<const std::int64_t> CompiledNet::forward(
@@ -90,11 +124,97 @@ int CompiledNet::predict(std::span<const std::uint8_t> x,
 double CompiledNet::accuracy(const datasets::QuantizedDataset& d,
                              EvalWorkspace& ws) const {
   if (d.size() == 0) return 0.0;
+  const auto preds = predict_batch(d, ws);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < d.size(); ++i) {
-    if (predict(d.row(i), ws) == d.labels[i]) ++correct;
+    if (preds[i] == d.labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+void CompiledNet::predict_batch(const std::uint8_t* codes, std::size_t n,
+                                std::int32_t* preds, EvalWorkspace& ws) const {
+  if (n == 0) return;
+  if (!block_safe_) {
+    // Overflow-unprovable net (never produced by a BitConfig decode at the
+    // paper's widths): keep the exact int64 per-sample path.
+    for (std::size_t s = 0; s < n; ++s) {
+      preds[s] = predict(
+          {codes + s * static_cast<std::size_t>(n_inputs_),
+           static_cast<std::size_t>(n_inputs_)},
+          ws);
+    }
+    return;
+  }
+  const SimdIsa isa = active_simd_isa();
+  ws.bind_block(*this);
+  for (std::size_t base = 0; base < n; base += kBlockSamples) {
+    const int b = static_cast<int>(
+        std::min<std::size_t>(kBlockSamples, n - base));
+    // Transpose the block's rows into neuron-major input planes.
+    const std::uint8_t* rows =
+        codes + base * static_cast<std::size_t>(n_inputs_);
+    std::int32_t* cur = ws.block_a_.data();
+    std::int32_t* nxt = ws.block_b_.data();
+    for (int i = 0; i < n_inputs_; ++i) {
+      std::int32_t* plane = cur + static_cast<std::size_t>(i) * b;
+      for (int s = 0; s < b; ++s) {
+        plane[s] = rows[static_cast<std::size_t>(s) * n_inputs_ + i];
+      }
+    }
+    for (const auto& layer : layers_) {
+      layer_sweep(isa, layer, cur, nxt, nxt, b, act_max32_);
+      std::swap(cur, nxt);
+    }
+    // argmax_first per sample over the output planes (stride b).
+    for (int s = 0; s < b; ++s) {
+      int best = 0;
+      std::int32_t best_v = cur[s];
+      for (int k = 1; k < n_outputs_; ++k) {
+        const std::int32_t v = cur[static_cast<std::size_t>(k) * b + s];
+        if (v > best_v) {
+          best_v = v;
+          best = k;
+        }
+      }
+      preds[base + static_cast<std::size_t>(s)] = best;
+    }
+  }
+}
+
+std::span<const std::int32_t> CompiledNet::predict_batch(
+    const datasets::QuantizedDataset& d, EvalWorkspace& ws) const {
+  if (d.n_features != n_inputs_) {
+    throw std::invalid_argument(
+        "CompiledNet::predict_batch: dataset feature width mismatch");
+  }
+  if (ws.preds_.size() < d.size()) ws.preds_.resize(d.size());
+  predict_batch(d.codes.data(), d.size(), ws.preds_.data(), ws);
+  return {ws.preds_.data(), d.size()};
+}
+
+bool CompiledNet::forward_block(
+    const std::uint8_t* codes, int n, EvalWorkspace& ws,
+    const std::function<void(int layer, const std::int32_t* acc,
+                             const std::int32_t* act)>& sink) const {
+  if (!block_safe_ || n <= 0 || n > kBlockSamples) return false;
+  const SimdIsa isa = active_simd_isa();
+  ws.bind_block(*this);
+  std::int32_t* cur = ws.block_a_.data();
+  std::int32_t* nxt = ws.block_b_.data();
+  for (int i = 0; i < n_inputs_; ++i) {
+    std::int32_t* plane = cur + static_cast<std::size_t>(i) * n;
+    for (int s = 0; s < n; ++s) {
+      plane[s] = codes[static_cast<std::size_t>(s) * n_inputs_ + i];
+    }
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layer_sweep(isa, layers_[l], cur, ws.block_acc_.data(), nxt, n,
+                act_max32_);
+    sink(static_cast<int>(l), ws.block_acc_.data(), nxt);
+    std::swap(cur, nxt);
+  }
+  return true;
 }
 
 void EvalWorkspace::bind(const CompiledNet& net) {
@@ -102,6 +222,16 @@ void EvalWorkspace::bind(const CompiledNet& net) {
   if (a_.size() < width) {
     a_.resize(width);
     b_.resize(width);
+  }
+}
+
+void EvalWorkspace::bind_block(const CompiledNet& net) {
+  const auto need = static_cast<std::size_t>(net.max_width_) *
+                    static_cast<std::size_t>(CompiledNet::kBlockSamples);
+  if (block_a_.size() < need) {
+    block_a_.resize(need);
+    block_b_.resize(need);
+    block_acc_.resize(need);
   }
 }
 

@@ -10,8 +10,12 @@
 //              (mask & in_mask != 0) with the layer input mask pre-ANDed in,
 //              plus the FA-count area (Eq. 2) computed neuron-by-neuron
 //              during the same walk (no `adder_specs()` vector).
-//   batch    — run the whole dataset through reusable flat activation
-//              buffers (`EvalWorkspace`): zero allocations per sample.
+//   batch    — sweep each layer over sample blocks of up to
+//              `CompiledNet::kBlockSamples` samples held in neuron-major
+//              int32 planes (`EvalWorkspace` flat buffers, zero allocations
+//              after warmup), through explicitly vectorized
+//              mask-and-accumulate kernels picked by runtime CPU dispatch
+//              (AVX2 / NEON / scalar — see simd.hpp, eval_kernels.hpp).
 //   memoize  — a genome-keyed bounded-LRU cache (`EvalCache`) short-circuits
 //              re-evaluation of duplicate individuals, which NSGA-II
 //              crossover/mutation produce every generation (an offspring
@@ -20,10 +24,17 @@
 // Results are bit-identical to `ApproxMlp::forward`/`fa_area` by
 // construction: the compiled sample loop performs the same int64 additions
 // in the same order, merely skipping terms that are provably zero. The
-// naive path stays as the reference oracle (see eval_engine_test).
+// batched int32 kernels stay bit-identical too: since `(x & mask) <= mask`
+// for any input, a per-neuron static bound `|bias| + sum(mask << k)` that
+// fits int32 proves no accumulator can ever leave int32 range, so the
+// narrow adds produce the same values as the int64 ones (computed once at
+// compile time as `block_safe()`; nets that fail it fall back to the
+// per-sample path). The naive path stays as the reference oracle (see
+// eval_engine_test), and the per-sample scalar path as the kernels' one.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <span>
@@ -77,6 +88,11 @@ class EvalWorkspace;
 /// and the FA-count area was computed once at compile time.
 class CompiledNet {
  public:
+  /// Samples per layer-sweep block: small enough that the int32 activation
+  /// planes of a paper-scale layer stay L1-resident, large enough to fill
+  /// 8-wide AVX2 lanes with slack for tails.
+  static constexpr int kBlockSamples = 64;
+
   CompiledNet() = default;
   /// Compile `net` (QReLU shifts must be current — decode() guarantees it).
   explicit CompiledNet(const ApproxMlp& net);
@@ -98,15 +114,45 @@ class CompiledNet {
   [[nodiscard]] int predict(std::span<const std::uint8_t> x,
                             EvalWorkspace& ws) const;
   /// Fraction of samples classified correctly; allocation-free given a
-  /// bound workspace.
+  /// bound workspace. Runs over predict_batch.
   [[nodiscard]] double accuracy(const datasets::QuantizedDataset& d,
                                 EvalWorkspace& ws) const;
+
+  /// True when every neuron's static accumulator bound fits int32, i.e. the
+  /// sample-blocked kernels are provably bit-identical to the int64 path.
+  /// Holds for every net the default BitConfig can decode; predict_batch
+  /// falls back to per-sample predict() when false.
+  [[nodiscard]] bool block_safe() const { return block_safe_; }
+
+  /// Classify `n` samples stored row-major at `codes` (stride n_inputs()),
+  /// one class per sample into `preds`. Sweeps each layer over blocks of
+  /// kBlockSamples samples through the runtime-dispatched kernels;
+  /// bit-identical to calling predict() per row on every input.
+  void predict_batch(const std::uint8_t* codes, std::size_t n,
+                     std::int32_t* preds, EvalWorkspace& ws) const;
+  /// Whole-dataset batched classification; the returned span aliases `ws`
+  /// storage (valid until the next batched call through `ws`).
+  [[nodiscard]] std::span<const std::int32_t> predict_batch(
+      const datasets::QuantizedDataset& d, EvalWorkspace& ws) const;
+
+  /// Batched forward over ONE block of `n` <= kBlockSamples samples
+  /// (row-major at `codes`), exposing each layer's raw accumulator and
+  /// activation planes (neuron-major, stride `n`) to `sink` in layer order
+  /// — the refine engine's memo-rebuild hook. The planes alias workspace
+  /// storage and are only valid during the callback. Returns false without
+  /// calling `sink` when the net is not block_safe().
+  bool forward_block(
+      const std::uint8_t* codes, int n, EvalWorkspace& ws,
+      const std::function<void(int layer, const std::int32_t* acc,
+                               const std::int32_t* act)>& sink) const;
 
  private:
   int n_inputs_ = 0;
   int n_outputs_ = 0;
   int max_width_ = 0;            ///< widest activation vector in the net
   std::int64_t act_max_ = 0;     ///< QReLU clamp, (1 << act_bits) - 1
+  std::int32_t act_max32_ = 0;   ///< act_max_ narrowed (valid iff block_safe_)
+  bool block_safe_ = false;
   long fa_area_ = 0;
   std::vector<CompiledLayer> layers_;
 
@@ -123,9 +169,18 @@ class EvalWorkspace final : public nsga2::Problem::Workspace {
 
   /// Ensure capacity for `net`; cheap when already large enough.
   void bind(const CompiledNet& net);
+  /// Ensure block-plane capacity (kBlockSamples × widest layer) for `net`.
+  void bind_block(const CompiledNet& net);
 
   std::vector<std::int64_t> a_;
   std::vector<std::int64_t> b_;
+  // Sample-block state: neuron-major int32 activation planes (ping-pong),
+  // a raw-accumulator plane for forward_block, and the per-dataset
+  // prediction buffer the span-returning predict_batch hands out.
+  std::vector<std::int32_t> block_a_;
+  std::vector<std::int32_t> block_b_;
+  std::vector<std::int32_t> block_acc_;
+  std::vector<std::int32_t> preds_;
 };
 
 /// The worker's own EvalWorkspace when `ws` is one (the PopulationEvaluator

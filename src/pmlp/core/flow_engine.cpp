@@ -633,6 +633,8 @@ void write_flow_report_json(const FlowResult& result,
        << ",\"evals_per_second\":" << result.training.evals_per_second
        << ",\"cache_hits\":" << result.training.cache_hits
        << ",\"cache_hit_rate\":" << result.training.cache_hit_rate
+       << ",\"simd_isa\":\"" << result.training.simd_isa << "\""
+       << ",\"eval_block\":" << result.training.eval_block
        << ",\"front_size\":" << result.training.estimated_pareto.size()
        << "}";
   body << ",\"refine\":{\"points\":" << result.refine.points

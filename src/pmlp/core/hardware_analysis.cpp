@@ -45,9 +45,10 @@ HwEvaluatedPoint evaluate_candidate(const EstimatedPoint& cand,
         n_check, static_cast<std::size_t>(cfg.equivalence_samples));
   }
   const CompiledNet net(cand.model);
+  const auto preds = net.predict_batch(test, ws);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const int model_pred = net.predict(test.row(i), ws);
+    const int model_pred = preds[i];
     if (i < n_check && circuit.predict(test.row(i)) != model_pred) {
       p.functional_match = false;
     }

@@ -63,6 +63,42 @@ RefineEngine::RefineEngine(ApproxMlp& net,
 void RefineEngine::rebuild() {
   n_correct_ = 0;
   const int last = n_layers_ - 1;
+  // Full-forward memo fill through the compiled engine's sample-blocked
+  // kernels: the compiled walk performs the same adds in the same order as
+  // the naive per-sample loop below, only skipping provably-zero terms, so
+  // the scattered accumulators/activations are bit-identical (and the
+  // refine-vs-naive oracle tests cover exactly this). The per-sample walk
+  // stays for nets the int32 kernels can't prove overflow-safe.
+  if (const CompiledNet compiled(net_);
+      compiled.block_safe() && n_layers_ > 0) {
+    for (std::size_t base = 0; base < n_samples_;
+         base += CompiledNet::kBlockSamples) {
+      const int b = static_cast<int>(std::min<std::size_t>(
+          CompiledNet::kBlockSamples, n_samples_ - base));
+      compiled.forward_block(
+          train_.codes.data() + base * static_cast<std::size_t>(n_features_),
+          b, block_ws_,
+          [&](int l, const std::int32_t* accp, const std::int32_t* actp) {
+            const int w = width_[static_cast<std::size_t>(l)];
+            for (int o = 0; o < w; ++o) {
+              const std::int32_t* ap = accp + static_cast<std::size_t>(o) * b;
+              const std::int32_t* xp = actp + static_cast<std::size_t>(o) * b;
+              for (int s = 0; s < b; ++s) {
+                acc_ptr(l, base + static_cast<std::size_t>(s))[o] = ap[s];
+                act_ptr(l, base + static_cast<std::size_t>(s))[o] = xp[s];
+              }
+            }
+          });
+    }
+    const auto out_w =
+        static_cast<std::size_t>(width_[static_cast<std::size_t>(last)]);
+    for (std::size_t s = 0; s < n_samples_; ++s) {
+      pred_[s] = argmax_first({act_ptr(last, s), out_w});
+      correct_[s] = pred_[s] == train_.labels[s] ? 1 : 0;
+      n_correct_ += correct_[s];
+    }
+    return;
+  }
   for (std::size_t s = 0; s < n_samples_; ++s) {
     for (int l = 0; l < n_layers_; ++l) {
       const auto w = static_cast<std::size_t>(width_[static_cast<std::size_t>(l)]);

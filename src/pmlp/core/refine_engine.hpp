@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "pmlp/core/approx_mlp.hpp"
+#include "pmlp/core/eval_engine.hpp"
 #include "pmlp/datasets/dataset.hpp"
 
 namespace pmlp::core {
@@ -152,6 +153,8 @@ class RefineEngine {
   std::vector<std::int64_t> changed_old_, next_changed_old_;
   std::vector<SlotUndo> undo_slots_;
   std::vector<PredUndo> undo_pred_;
+
+  EvalWorkspace block_ws_;  ///< sample-block planes for the batched rebuild
 
   RefineEngineStats stats_;
 };

@@ -216,6 +216,7 @@ void FrontServer::run_batch(std::vector<Pending>& batch) {
   const auto front = snapshot();
   struct Slot {
     const Served* model = nullptr;
+    bool grouped = false;
     ServeReply reply;
   };
   std::vector<Slot> slots(batch.size());
@@ -246,19 +247,66 @@ void FrontServer::run_batch(std::vector<Pending>& batch) {
     }
     if (slot.reply.error.empty()) slot.model = m;
   }
-  // Fan the valid requests out over the pool; worker k reuses its own
-  // workspace, so the eval path allocates nothing after warmup.
+  // Group the valid requests by resolved model (first-appearance order) and
+  // gather each group's feature codes into one contiguous arena, so every
+  // model classifies its whole share of the batch through predict_batch
+  // sample blocks instead of request-at-a-time predict() calls.
+  arena_.clear();
+  batch_order_.clear();
+  block_tasks_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (slots[i].model == nullptr || slots[i].grouped) continue;
+    const Served* m = slots[i].model;
+    const std::size_t group_first = batch_order_.size();
+    const std::size_t group_arena = arena_.size();
+    for (std::size_t j = i; j < batch.size(); ++j) {
+      if (slots[j].model != m) continue;
+      slots[j].grouped = true;
+      batch_order_.push_back(j);
+      arena_.insert(arena_.end(), batch[j].codes.begin(),
+                    batch[j].codes.end());
+    }
+    const auto n_in = static_cast<std::size_t>(m->net.n_inputs());
+    const std::size_t group_n = batch_order_.size() - group_first;
+    for (std::size_t off = 0; off < group_n;
+         off += CompiledNet::kBlockSamples) {
+      const int count = static_cast<int>(std::min<std::size_t>(
+          CompiledNet::kBlockSamples, group_n - off));
+      block_tasks_.push_back(
+          BlockTask{m, group_arena + off * n_in, group_first + off, count});
+    }
+  }
+  if (batch_preds_.size() < batch_order_.size()) {
+    batch_preds_.resize(batch_order_.size());
+  }
+  // Fan the sample blocks out over the pool; worker k reuses its own
+  // workspace, so the eval path allocates nothing after warmup. A task is
+  // already a whole block — chunking finer would leave nothing to amortize.
   pool_.parallel_for(
-      batch.size(),
+      block_tasks_.size(),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         EvalWorkspace& ws = workspaces_[chunk];
-        for (std::size_t i = begin; i < end; ++i) {
-          if (slots[i].model == nullptr) continue;
-          slots[i].reply.predicted =
-              slots[i].model->net.predict(batch[i].codes, ws);
+        for (std::size_t t = begin; t < end; ++t) {
+          const BlockTask& task = block_tasks_[t];
+          task.model->net.predict_batch(
+              arena_.data() + task.arena,
+              static_cast<std::size_t>(task.count),
+              batch_preds_.data() + task.first, ws);
         }
       },
-      /*min_per_chunk=*/8);
+      /*min_per_chunk=*/1);
+  for (std::size_t k = 0; k < batch_order_.size(); ++k) {
+    slots[batch_order_[k]].reply.predicted = batch_preds_[k];
+  }
+  // Count the batch BEFORE fulfilling any promise: a client whose future
+  // just resolved must never observe stats() missing its own request.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += static_cast<long>(batch.size());
+    ++stats_.batches;
+    stats_.max_batch =
+        std::max(stats_.max_batch, static_cast<long>(batch.size()));
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     auto& reply = slots[i].reply;
     if (slots[i].model != nullptr) {
@@ -266,13 +314,6 @@ void FrontServer::run_batch(std::vector<Pending>& batch) {
       reply.file = slots[i].model->entry.file;
     }
     batch[i].promise.set_value(std::move(reply));
-  }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.requests += static_cast<long>(batch.size());
-    ++stats_.batches;
-    stats_.max_batch =
-        std::max(stats_.max_batch, static_cast<long>(batch.size()));
   }
 }
 

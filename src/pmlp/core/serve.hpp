@@ -3,11 +3,15 @@
 // A FrontServer loads a --save-front directory (or a campaign checkpoint
 // tree — see load_front_any in serialize.hpp) and compiles every model into
 // a CompiledNet once at load time. Classify requests are answered by the
-// PR 2 evaluation engine: requests queue up, a dispatcher drains the queue
-// into batches (up to ServeConfig::max_batch at a time) and fans each batch
-// out over the shared ThreadPool, where every worker reuses its own
-// EvalWorkspace — so the per-request execution path performs zero
-// allocations after warmup, exactly like the GA hot path.
+// batched evaluation engine: requests queue up, a dispatcher drains the
+// queue into batches (up to ServeConfig::max_batch at a time), groups each
+// batch by resolved model, gathers every group's feature codes into one
+// contiguous arena, and fans the resulting sample blocks out over the
+// shared ThreadPool as CompiledNet::predict_batch calls (SIMD layer sweeps
+// — see eval_kernels.hpp), where every worker reuses its own EvalWorkspace
+// — so the per-request execution path performs zero allocations after
+// warmup, exactly like the GA hot path, and answers stay bit-identical to
+// the per-request predict() oracle the serve tests assert against.
 //
 // The loaded front is an immutable snapshot behind a shared_ptr: reload()
 // reads the directory again and atomically swaps the pointer, and every
@@ -147,6 +151,15 @@ class FrontServer {
     std::vector<std::uint8_t> codes;
     std::promise<ServeReply> promise;
   };
+  /// One predict_batch dispatch unit: `count` grouped requests
+  /// (batch_order_[first .. first+count)) of one model, whose gathered
+  /// feature codes start at arena_[arena].
+  struct BlockTask {
+    const Served* model = nullptr;
+    std::size_t arena = 0;
+    std::size_t first = 0;
+    int count = 0;
+  };
 
   [[nodiscard]] static std::shared_ptr<const Front> load(
       const std::string& dir);
@@ -160,6 +173,13 @@ class FrontServer {
   ServeConfig cfg_;
   ThreadPool pool_;
   std::vector<EvalWorkspace> workspaces_;  ///< one per pool worker
+
+  // run_batch scratch (dispatcher thread only); capacity persists across
+  // batches, so the steady-state eval path stays allocation-free.
+  std::vector<std::uint8_t> arena_;        ///< gathered codes, model-grouped
+  std::vector<std::int32_t> batch_preds_;  ///< one class per grouped request
+  std::vector<std::size_t> batch_order_;   ///< grouped position -> batch index
+  std::vector<BlockTask> block_tasks_;
 
   mutable std::mutex front_mutex_;
   std::shared_ptr<const Front> front_;

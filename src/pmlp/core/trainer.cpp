@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "pmlp/bitops/bitops.hpp"
+#include "pmlp/core/simd.hpp"
 
 namespace pmlp::core {
 
@@ -34,6 +35,8 @@ void fill_perf_counters(TrainingResult& result, const EvalCacheStats& stats) {
           : 0.0;
   result.cache_hits = stats.hits;
   result.cache_hit_rate = stats.hit_rate();
+  result.simd_isa = simd_isa_name(active_simd_isa());
+  result.eval_block = CompiledNet::kBlockSamples;
 }
 
 }  // namespace

@@ -47,6 +47,13 @@ struct TrainingResult {
   double evals_per_second = 0.0;
   long cache_hits = 0;          ///< memo-cache short-circuits
   double cache_hit_rate = 0.0;  ///< hits / lookups (0 when cache off)
+  /// SIMD ISA the batched kernels dispatched to ("avx2"/"neon"/"scalar")
+  /// and the layer-sweep block size, so eval_throughput figures compare
+  /// across machines. Runtime machine metadata, NOT serialized with
+  /// checkpoints (a resumed artifact describes the training, not the host);
+  /// empty on a TrainingResult loaded from disk.
+  std::string simd_isa;
+  int eval_block = 0;
 };
 
 /// Train approximate MLPs for `topology` on `train`. `baseline` supplies the

@@ -149,7 +149,12 @@ long PopulationEvaluator::evaluate(std::span<Individual> pop) {
     }
   };
   if (pool_) {
-    pool_->parallel_for(pop.size(), work);
+    // A chromosome already evaluates as whole sample blocks through the
+    // batched engine, so a chunk must hold several chromosomes for dispatch
+    // to amortize: never split below 2 per worker — at bench-scale
+    // populations a lone-chromosome chunk costs more in wakeup/join than
+    // its evaluation (often a single cache hit) saves.
+    pool_->parallel_for(pop.size(), work, /*min_per_chunk=*/2);
   } else {
     work(0, 0, pop.size());
   }

@@ -222,6 +222,29 @@ TEST(EstimateAdder, ZeroMaskEqualsAbsentSummand) {
             adder::estimate_adder(without).folded_constant);
 }
 
+TEST(EstimateAdder, FastTotalFaMatchesFullEstimateOnRandomNeurons) {
+  // estimate_total_fa is the GA's allocation-free area path; it must agree
+  // with the schedule-producing estimator bit for bit on every neuron shape
+  // (random masks/shifts/signs/biases, including fully pruned summands).
+  std::mt19937 rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    adder::NeuronAdderSpec n;
+    const int n_summands = static_cast<int>(rng() % 12);
+    for (int i = 0; i < n_summands; ++i) {
+      adder::SummandSpec s;
+      s.mask = rng() & 0xF;
+      s.input_width = 4;
+      s.shift = static_cast<int>(rng() % 7);
+      s.sign = (rng() & 1) ? +1 : -1;
+      n.summands.push_back(s);
+    }
+    n.bias = static_cast<std::int64_t>(rng() % 4001) - 2000;
+    EXPECT_EQ(adder::estimate_total_fa(n),
+              adder::estimate_adder(n).total_fa())
+        << "trial " << trial;
+  }
+}
+
 // Property sweep: FA count grows (weakly) with the number of mask bits.
 class EstimateAdderMaskSweep : public ::testing::TestWithParam<int> {};
 

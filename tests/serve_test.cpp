@@ -28,6 +28,7 @@
 #include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/core/serve.hpp"
+#include "pmlp/core/simd.hpp"
 #include "flow_test_util.hpp"
 
 namespace core = pmlp::core;
@@ -206,6 +207,62 @@ TEST(FrontServer, AnswersBitIdenticalToCompiledNetForEveryModel) {
       EXPECT_EQ(reply.file, e.file);
       EXPECT_EQ(reply.predicted, oracle.predict(codes, ws));
     }
+  }
+}
+
+TEST(FrontServer, ForcedScalarAndSimdDispatchAnswerIdentically) {
+  // The same mixed-model request tape answered under forced-scalar dispatch
+  // and under the machine's best ISA must be bit-identical request by
+  // request, and both must match the offline per-sample oracle. (On a
+  // scalar-only machine both sections dispatch scalar — the tape/oracle
+  // comparison still holds.)
+  TempDir tmp("pmlp_serve", "simd");
+  const std::vector<IndexRow> rows = {
+      {0.9, 3.0, 1.0}, {0.85, 2.0, 0.8}, {0.7, 1.0, 0.4}};
+  write_front_dir(tmp.path, kTopo, rows, 500);
+  const auto entries = core::load_front_dir(tmp.path.string());
+
+  constexpr int kTape = 160;  // > max_batch: several multi-model batches
+  std::mt19937_64 rng(77);
+  std::vector<std::string> selectors;
+  std::vector<std::vector<std::uint8_t>> codes;
+  for (int i = 0; i < kTape; ++i) {
+    selectors.push_back(
+        entries[static_cast<std::size_t>(i) % entries.size()].file);
+    codes.push_back(random_codes(kTopo.layers.front(), rng));
+  }
+
+  const auto run_tape = [&](core::SimdIsa isa) {
+    const auto prev = core::active_simd_isa();
+    core::set_simd_isa(isa);
+    core::FrontServer server(tmp.path.string(),
+                             {.n_threads = 2, .max_batch = 32});
+    std::vector<std::future<core::ServeReply>> futures;
+    for (int i = 0; i < kTape; ++i) {
+      futures.push_back(server.submit(selectors[static_cast<std::size_t>(i)],
+                                      codes[static_cast<std::size_t>(i)]));
+    }
+    std::vector<int> answers;
+    for (auto& f : futures) {
+      const auto reply = f.get();
+      EXPECT_TRUE(reply.ok) << reply.error;
+      answers.push_back(reply.predicted);
+    }
+    core::set_simd_isa(prev);
+    return answers;
+  };
+
+  const auto scalar = run_tape(core::SimdIsa::kScalar);
+  const auto simd = run_tape(core::detect_simd_isa());
+  ASSERT_EQ(scalar.size(), simd.size());
+  core::EvalWorkspace ws;
+  for (int i = 0; i < kTape; ++i) {
+    const auto& e = entries[static_cast<std::size_t>(i) % entries.size()];
+    const core::CompiledNet oracle(e.model);
+    const int want =
+        oracle.predict(codes[static_cast<std::size_t>(i)], ws);
+    ASSERT_EQ(scalar[static_cast<std::size_t>(i)], want) << "request " << i;
+    ASSERT_EQ(simd[static_cast<std::size_t>(i)], want) << "request " << i;
   }
 }
 

@@ -379,6 +379,13 @@ int cmd_run(const std::string& dataset, int pop, int gens,
               << result.training.evals_per_second
               << " evals/s, cache hit rate "
               << result.training.cache_hit_rate << ")\n";
+    // simd_isa is runtime metadata, empty when the GA stage was reused from
+    // a checkpoint (this process never ran the kernels for it).
+    if (!result.training.simd_isa.empty()) {
+      std::cout << "eval kernels: " << result.training.simd_isa
+                << " dispatch, block " << result.training.eval_block
+                << " samples\n";
+    }
     if (result.refine.trials > 0) {
       std::cout << "refine engine: " << result.refine.trials << " trials on "
                 << result.refine.points << " points (early-abort rate "

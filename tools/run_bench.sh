@@ -58,6 +58,8 @@ run_once() {
          {printf "REFINE %s %s %s %s\n", $3, $5, $7, $9}
          $1 == "ThreadsUsed" \
          {printf "THREADS %s\n", $2}
+         $1 == "SimdDispatch" \
+         {printf "SIMD %s %s\n", $2, $3}
          $1 == "Campaign" \
          {printf "CAMPAIGN %s %s %s %s %s\n", $3, $5, $7, $9, $11}'
 }
@@ -72,7 +74,7 @@ import json, os, sys
 
 def parse(block):
     out = {"rows": {}, "perf": {}, "stages": {}, "hw_cand": 0, "refine": {},
-           "threads": None, "campaign": {}}
+           "threads": None, "campaign": {}, "simd_isa": None, "eval_block": 0}
     for line in block.strip().splitlines():
         fields = line.split()
         if fields[0] == "THROUGHPUT":
@@ -90,6 +92,9 @@ def parse(block):
                              "biases_simplified": int(fields[4])}
         elif fields[0] == "THREADS":
             out["threads"] = int(fields[1])
+        elif fields[0] == "SIMD":
+            out["simd_isa"] = fields[1]
+            out["eval_block"] = int(fields[2])
         elif fields[0] == "CAMPAIGN":
             out["campaign"] = {"flows": int(fields[1]),
                                "pool_threads": int(fields[2]),
@@ -112,6 +117,9 @@ for section, cfg in (("serial", serial), ("parallel", parallel)):
     if cfg["threads"] is None or not cfg["campaign"]:
         sys.exit(f"error: {section} bench output is missing its "
                  "ThreadsUsed/Campaign rows — PMLP_THREADS not recorded")
+    if cfg["simd_isa"] is None:
+        sys.exit(f"error: {section} bench output is missing its SimdDispatch "
+                 "row — kernel ISA not recorded")
 if serial["threads"] != 1 or serial["campaign"]["pool_threads"] != 1:
     sys.exit("error: PMLP_THREADS=1 was ignored (serial section reports "
              f"{serial['threads']} intra-run / "
@@ -183,9 +191,18 @@ doc = {
         "serial_s": round(serial["stages"].get("refine", 0.0), 4),
     },
     # GA-AxC evaluation-engine throughput (compiled sparse inference +
-    # genome memo cache); the per-PR perf trajectory figure.
+    # genome memo cache); the per-PR perf trajectory figure. simd_isa and
+    # eval_block record the kernel configuration the runtime dispatch picked
+    # (bench-reported), so throughput stays comparable across machines; the
+    # speedup is the serial-section parallel_for-free GA population path.
     "eval_throughput": {"serial": serial["perf"],
-                        "parallel": parallel["perf"]},
+                        "parallel": parallel["perf"],
+                        "simd_isa": serial["simd_isa"],
+                        "eval_block": serial["eval_block"],
+                        "parallel_speedup": round(
+                            serial["perf"]["evals_per_s"]
+                            and parallel["perf"]["evals_per_s"]
+                            / serial["perf"]["evals_per_s"] or 0.0, 3)},
 }
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2)
@@ -212,6 +229,8 @@ threads = None
 rows = {}
 speedup = None
 batch_fill = None
+simd_isa = None
+eval_block = 0
 for line in """$SERVE""".strip().splitlines():
     fields = line.split()
     if fields[0] == "ThreadsUsed":
@@ -224,6 +243,9 @@ for line in """$SERVE""".strip().splitlines():
         speedup = float(fields[1])
     elif fields[0] == "ServeBatchFill":
         batch_fill = float(fields[1])
+    elif fields[0] == "ServeSimd":
+        simd_isa = fields[1]
+        eval_block = int(fields[2])
 
 # Attributability guard, same contract as the table3 sections: the bench
 # must report the pool size it resolved, and PMLP_THREADS=1 must really
@@ -231,6 +253,9 @@ for line in """$SERVE""".strip().splitlines():
 if threads is None or "naive" not in rows or "served" not in rows:
     sys.exit("error: bench_serve output is missing its ThreadsUsed/"
              "ServeBench rows")
+if simd_isa is None:
+    sys.exit("error: bench_serve output is missing its ServeSimd row — "
+             "kernel ISA not recorded")
 if threads != 1:
     sys.exit(f"error: PMLP_THREADS=1 was ignored (server used {threads} "
              "workers)")
@@ -245,6 +270,8 @@ doc = {
     "batched_server": rows["served"],
     "qps_speedup": speedup,
     "batch_fill": batch_fill,
+    "simd_isa": simd_isa,
+    "eval_block": eval_block,
 }
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2)
