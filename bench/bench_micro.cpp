@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
@@ -14,7 +16,13 @@
 #include "pmlp/core/chromosome.hpp"
 #include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/simd.hpp"
+#include "pmlp/mlp/backprop.hpp"
+#include "pmlp/mlp/train_engine.hpp"
 #include "pmlp/netlist/builders.hpp"
+
+#ifdef PMLP_HAVE_GPERFTOOLS
+#include <gperftools/profiler.h>
+#endif
 
 namespace {
 
@@ -161,6 +169,87 @@ void BM_PredictPerSample(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictPerSample)->Arg(0)->Arg(1)->ArgName("sparse");
 
+/// Random normalized dataset for the training-kernel benches (synthetic:
+/// only the arithmetic shape matters at this tier).
+datasets::Dataset make_train_data(std::size_t n, int n_features,
+                                  int n_classes, std::uint64_t seed) {
+  datasets::Dataset d;
+  d.name = "bench";
+  d.n_features = n_features;
+  d.n_classes = n_classes;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  d.features.resize(n * static_cast<std::size_t>(n_features));
+  for (auto& f : d.features) f = u(rng);
+  d.labels.resize(n);
+  for (auto& y : d.labels) {
+    y = static_cast<int>(rng() % static_cast<unsigned>(n_classes));
+  }
+  return d;
+}
+
+constexpr std::size_t kTrainSamples = 512;
+
+mlp::Topology train_topology(bool wide) {
+  // Pendigits-sized vs a wider-than-paper shape, to show how the sweeps
+  // scale with layer width.
+  return wide ? mlp::Topology{{32, 16, 10}} : mlp::Topology{{16, 5, 10}};
+}
+
+/// One full training epoch (shuffle + every minibatch + momentum update +
+/// final accuracy pass) through the blocked TrainEngine. args: (simd 0/1,
+/// batch size, wide 0/1); the label records the ISA that actually ran, and
+/// items/s is training samples swept per second.
+void BM_TrainStep(benchmark::State& state) {
+  const bool use_simd = state.range(0) != 0;
+  const auto batch = static_cast<int>(state.range(1));
+  const bool wide = state.range(2) != 0;
+  const auto topo = train_topology(wide);
+  const auto data = make_train_data(kTrainSamples, topo.layers.front(),
+                                    topo.layers.back(), 31);
+  mlp::BackpropConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = batch;
+  cfg.seed = 7;
+  const core::SimdIsa prev = core::active_simd_isa();
+  const core::SimdIsa isa = core::set_simd_isa(
+      use_simd ? core::detect_simd_isa() : core::SimdIsa::kScalar);
+  mlp::TrainEngine engine(data, cfg);
+  mlp::FloatMlp net(topo, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.train(net));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrainSamples));
+  state.SetLabel(core::simd_isa_name(isa));
+  core::set_simd_isa(prev);
+}
+BENCHMARK(BM_TrainStep)
+    ->ArgsProduct({{0, 1}, {32, 128}, {0, 1}})
+    ->ArgNames({"simd", "batch", "wide"});
+
+/// Pre-engine reference: the same epoch through the per-sample naive loop
+/// (allocation-per-trace, no blocking, no SIMD).
+void BM_TrainStepNaive(benchmark::State& state) {
+  const bool wide = state.range(0) != 0;
+  const auto topo = train_topology(wide);
+  const auto data = make_train_data(kTrainSamples, topo.layers.front(),
+                                    topo.layers.back(), 31);
+  mlp::BackpropConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.seed = 7;
+  mlp::FloatMlp net(topo, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp::train_backprop_naive(net, data, cfg));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrainSamples));
+}
+BENCHMARK(BM_TrainStepNaive)->Arg(0)->Arg(1)->ArgName("wide");
+
 void BM_AdderReduction(benchmark::State& state) {
   std::vector<int> heights(static_cast<std::size_t>(state.range(0)), 12);
   for (auto _ : state) {
@@ -171,4 +260,31 @@ BENCHMARK(BM_AdderReduction)->Arg(8)->Arg(16)->Arg(24);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): PMLP_PROFILE=<path> wraps the
+// whole run in gperftools CPU profiling when the binary was linked against
+// it (PMLP_HAVE_GPERFTOOLS, optional in bench/CMakeLists.txt), so kernel-
+// tier regressions can be attributed to specific functions. Without the
+// library the knob is a loudly-documented no-op.
+int main(int argc, char** argv) {
+  const char* profile = std::getenv("PMLP_PROFILE");
+#ifdef PMLP_HAVE_GPERFTOOLS
+  if (profile != nullptr && *profile != '\0') ProfilerStart(profile);
+#else
+  if (profile != nullptr && *profile != '\0') {
+    std::fprintf(stderr,
+                 "PMLP_PROFILE set but bench_micro was built without "
+                 "gperftools; profiling disabled\n");
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+#ifdef PMLP_HAVE_GPERFTOOLS
+  if (profile != nullptr && *profile != '\0') {
+    ProfilerStop();
+    std::fprintf(stderr, "wrote CPU profile to %s\n", profile);
+  }
+#endif
+  return 0;
+}

@@ -14,10 +14,13 @@
 // once serial (PMLP_THREADS=1) and once on all hardware threads and records
 // the shared-pool speedup as the `campaign` block of BENCH_table3.json.
 #include <iostream>
+#include <limits>
 #include <map>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "pmlp/core/campaign.hpp"
+#include "pmlp/mlp/train_engine.hpp"
 #include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/simd.hpp"
 #include "pmlp/core/suite.hpp"
@@ -67,7 +70,19 @@ int main() {
   std::cout << "Dataset        Grad s(paper min)   GA s(paper min)   "
                "GA-AxC s(paper min)   GA-AxC/GA ratio\n";
 
+  // Full-precision cell for the machine-readable rows: the 2-decimal table
+  // cells truncated sub-10ms stages to "0.00" (the PR 6 index.tsv lesson),
+  // so run_bench.sh parses these instead.
+  const auto full = [](double v) {
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+  };
+
   double sum_grad = 0, sum_ga = 0, sum_axc = 0;
+  double sum_naive = 0;
+  double grad_samples = 0;  // samples swept by the engine reruns
   long axc_evals = 0, axc_cache_hits = 0;
   std::map<std::string, double> stage_walls;  // aggregated over datasets
   long hw_candidates = 0;
@@ -86,13 +101,22 @@ int main() {
     refine_totals.biases_simplified += flow.refine.biases_simplified;
     const auto& axc = flow.training;
 
-    // (1) Gradient training time: a clean rerun at the same epochs budget.
+    // (1) Gradient training time: a clean rerun at the same epochs budget
+    // on the blocked SIMD TrainEngine (PMLP_THREADS-wide block
+    // parallelism), plus the per-sample naive oracle for the speedup row.
     mlp::BackpropConfig bp;
     bp.epochs = bench::env_int("PMLP_EPOCHS", 150);
     bp.seed = 77;
+    bp.n_threads = env_threads;
     mlp::FloatMlp net(core::paper_topology(pr.name), 77);
     const auto grad =
         mlp::train_backprop(net, flow.baseline.train_raw, bp);
+    mlp::FloatMlp naive_net(core::paper_topology(pr.name), 77);
+    const auto naive =
+        mlp::train_backprop_naive(naive_net, flow.baseline.train_raw, bp);
+    sum_naive += naive.wall_seconds;
+    grad_samples += static_cast<double>(grad.epochs_run) *
+                    static_cast<double>(flow.baseline.train_raw.size());
 
     // (2) GA accuracy-only, same evaluation budget as (3). Runs outside
     // the campaign with PMLP_THREADS-wide intra-run fitness parallelism —
@@ -117,7 +141,20 @@ int main() {
               << bench::fmt(axc.wall_seconds / std::max(ga.wall_seconds, 1e-9),
                             14, 2)
               << "\n";
+    // Machine-readable twin of the table row, at full precision.
+    std::cout << "Timing " << pr.name << ' ' << full(grad.wall_seconds) << ' '
+              << full(ga.wall_seconds) << ' ' << full(axc.wall_seconds)
+              << "\n";
   }
+  // Training-engine aggregate over the five gradient reruns (parsed by
+  // tools/run_bench.sh into the backprop_stage block of BENCH_table3.json):
+  // engine vs per-sample naive oracle at the same epochs budget.
+  std::cout << "BackpropStage naive_s " << full(sum_naive) << " engine_s "
+            << full(sum_grad) << " samples_per_s "
+            << full(grad_samples / std::max(sum_grad, 1e-9)) << " isa "
+            << core::simd_isa_name(core::active_simd_isa()) << " block "
+            << mlp::TrainEngine::kBlockSamples << " speedup "
+            << full(sum_naive / std::max(sum_grad, 1e-9)) << "\n";
   // Evaluation-engine aggregate over the five GA-AxC runs, parsed by
   // tools/run_bench.sh into the eval_throughput figure of BENCH_table3.json.
   std::cout << "\nThroughput: "
@@ -145,8 +182,7 @@ int main() {
         "select"}) {
     const auto it = stage_walls.find(name);
     if (it == stage_walls.end()) continue;
-    std::cout << "StageWall " << name << ' '
-              << bench::fmt(it->second, 0, 4) << "\n";
+    std::cout << "StageWall " << name << ' ' << full(it->second) << "\n";
   }
   std::cout << "HwCandidates " << hw_candidates << "\n";
   // Incremental refine-engine accounting (also parsed by tools/run_bench.sh
@@ -162,11 +198,9 @@ int main() {
   // Campaign's `threads` the shared pool actually constructed.
   std::cout << "ThreadsUsed " << core::resolve_n_threads(env_threads) << "\n";
   std::cout << "Campaign flows " << campaign.flows.size() << " threads "
-            << campaign.n_threads << " wall "
-            << bench::fmt(campaign.wall_seconds, 0, 4) << " stage_wall "
-            << bench::fmt(campaign.stage_wall_seconds, 0, 4)
-            << " flows_per_s "
-            << bench::fmt(campaign.flows_per_second(), 0, 4) << "\n";
+            << campaign.n_threads << " wall " << full(campaign.wall_seconds)
+            << " stage_wall " << full(campaign.stage_wall_seconds)
+            << " flows_per_s " << full(campaign.flows_per_second()) << "\n";
   std::cout << "\nAverage: grad " << bench::fmt(sum_grad / 5, 0, 2)
             << " s, GA " << bench::fmt(sum_ga / 5, 0, 2) << " s, GA-AxC "
             << bench::fmt(sum_axc / 5, 0, 2)

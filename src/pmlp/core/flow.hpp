@@ -104,6 +104,11 @@ struct BaselineArtifacts {
 struct FlowResult {
   BaselineArtifacts baseline;
   TrainingResult training;
+  /// Backprop-stage report from the TrainEngine (zeros when the stage was
+  /// injected or reloaded from a checkpoint — this process never trained).
+  /// The flow-wide trainer.n_threads knob supersedes backprop.n_threads,
+  /// like the hardware stage.
+  mlp::BackpropReport backprop;
   /// Refine-stage counters (zeros when the stage was disabled, injected or
   /// reloaded from a checkpoint — the counters are not checkpointed).
   RefineFrontReport refine;

@@ -299,8 +299,13 @@ void FlowEngine::stage_backprop() {
     return;
   }
 
-  float_net_ =
-      mlp::train_float_mlp(topology_, split_->train_raw, config_.backprop);
+  // trainer.n_threads is the flow-wide parallelism knob; it supersedes
+  // backprop.n_threads like it does hardware.n_threads. Bit-identical for
+  // any value, so it stays outside the config fingerprint.
+  mlp::BackpropConfig bp = config_.backprop;
+  bp.n_threads = config_.trainer.n_threads;
+  float_net_ = mlp::train_float_mlp(topology_, split_->train_raw, bp,
+                                    &backprop_report_);
   if (!checkpoint_dir_.empty()) {
     write_artifact(path("float_net.txt"), [&](std::ostream& os) {
       save_float_mlp(*float_net_, os);
@@ -519,6 +524,7 @@ FlowResult FlowEngine::assemble(bool move_out) {
   }
   // assemble_baseline last: the select stage above reads pricing_.
   result.baseline = assemble_baseline(move_out);
+  result.backprop = backprop_report_;
   result.refine = refine_report_;
   result.area_reduction = selection_->area_reduction;
   result.power_reduction = selection_->power_reduction;
@@ -637,6 +643,16 @@ void write_flow_report_json(const FlowResult& result,
        << ",\"eval_block\":" << result.training.eval_block
        << ",\"front_size\":" << result.training.estimated_pareto.size()
        << "}";
+  body << ",\"backprop\":{\"train_samples_per_s\":"
+       << result.backprop.samples_per_second
+       << ",\"wall_seconds\":" << result.backprop.wall_seconds
+       << ",\"epochs_run\":" << result.backprop.epochs_run
+       << ",\"final_train_accuracy\":"
+       << result.backprop.final_train_accuracy
+       << ",\"final_loss\":" << result.backprop.final_loss
+       << ",\"simd_isa\":\"" << result.backprop.simd_isa << "\""
+       << ",\"block\":" << result.backprop.block
+       << ",\"threads\":" << result.backprop.threads << "}";
   body << ",\"refine\":{\"points\":" << result.refine.points
        << ",\"trials\":" << result.refine.trials
        << ",\"early_aborts\":" << result.refine.early_aborts

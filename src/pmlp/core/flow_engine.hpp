@@ -139,6 +139,9 @@ class FlowEngine {
 
   std::optional<SplitArtifacts> split_;
   std::optional<mlp::FloatMlp> float_net_;
+  /// TrainEngine report of a backprop stage executed in this process
+  /// (zeros when the stage was reloaded or injected — not checkpointed).
+  mlp::BackpropReport backprop_report_;
   std::optional<BaselinePricing> pricing_;
   std::optional<TrainingResult> training_;
   bool refined_ = false;

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <random>
 
+#include "pmlp/mlp/train_engine.hpp"
+
 namespace pmlp::mlp {
 
 namespace {
@@ -28,8 +30,9 @@ struct LayerGrads {
 
 }  // namespace
 
-BackpropReport train_backprop(FloatMlp& net, const datasets::Dataset& train,
-                              const BackpropConfig& cfg) {
+BackpropReport train_backprop_naive(FloatMlp& net,
+                                    const datasets::Dataset& train,
+                                    const BackpropConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   std::mt19937_64 rng(cfg.seed);
 
@@ -132,25 +135,41 @@ BackpropReport train_backprop(FloatMlp& net, const datasets::Dataset& train,
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  report.samples_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.epochs_run) *
+                static_cast<double>(train.size()) / report.wall_seconds
+          : 0.0;
   return report;
+}
+
+BackpropReport train_backprop(FloatMlp& net, const datasets::Dataset& train,
+                              const BackpropConfig& cfg) {
+  TrainEngine engine(train, cfg);
+  return engine.train(net);
 }
 
 FloatMlp train_float_mlp(const Topology& topology,
                          const datasets::Dataset& train,
-                         const BackpropConfig& cfg) {
+                         const BackpropConfig& cfg, BackpropReport* report) {
   FloatMlp best;
   double best_acc = -1.0;
+  BackpropReport best_report;
   const int restarts = std::max(1, cfg.restarts);
+  // One engine (and worker pool + workspace) serves every restart.
+  TrainEngine engine(train, cfg);
   for (int r = 0; r < restarts; ++r) {
-    BackpropConfig run_cfg = cfg;
-    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(r) * 101;
-    FloatMlp net(topology, run_cfg.seed);
-    const auto report = train_backprop(net, train, run_cfg);
-    if (report.final_train_accuracy > best_acc) {
-      best_acc = report.final_train_accuracy;
+    const std::uint64_t run_seed =
+        cfg.seed + static_cast<std::uint64_t>(r) * 101;
+    FloatMlp net(topology, run_seed);
+    auto run_report = engine.train(net, run_seed);
+    if (run_report.final_train_accuracy > best_acc) {
+      best_acc = run_report.final_train_accuracy;
       best = std::move(net);
+      best_report = run_report;
     }
   }
+  if (report != nullptr) *report = best_report;
   return best;
 }
 

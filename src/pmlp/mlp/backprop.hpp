@@ -1,8 +1,14 @@
 // Mini-batch SGD with momentum on softmax cross-entropy — the conventional
 // gradient-based training the paper compares against in Table III.
+//
+// Two implementations share this interface: train_backprop() runs the
+// sample-blocked SIMD TrainEngine (train_engine.hpp) and is the default
+// everywhere; train_backprop_naive() is the original per-sample scalar
+// loop, kept as the reference oracle the engine is tested against.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "pmlp/datasets/dataset.hpp"
 #include "pmlp/mlp/float_mlp.hpp"
@@ -23,6 +29,11 @@ struct BackpropConfig {
   /// keeps the most accurate — cheap insurance for tiny topologies.
   int restarts = 3;
   std::uint64_t seed = 1;
+  /// TrainEngine workers for intra-batch block parallelism; 0 = auto.
+  /// Results are bit-identical for every value (per-block gradient shards
+  /// reduced in fixed block order) — this knob is EXCLUDED from the flow
+  /// checkpoint fingerprint, like every thread count.
+  int n_threads = 1;
 };
 
 struct BackpropReport {
@@ -30,15 +41,32 @@ struct BackpropReport {
   double final_loss = 0.0;
   int epochs_run = 0;
   double wall_seconds = 0.0;  ///< measured training time (Table III)
+  /// Training throughput over the full run (epochs_run * n / wall).
+  double samples_per_second = 0.0;
+  // Runtime machine metadata (like TrainingResult::simd_isa) — NOT
+  // serialized into checkpoints and never part of any fingerprint.
+  std::string simd_isa;  ///< dispatched kernel ISA ("" for the naive loop)
+  int block = 0;         ///< engine block size (0 for the naive loop)
+  int threads = 1;       ///< resolved worker count
 };
 
-/// Train `net` in place; returns a report with the wall time.
+/// Train `net` in place with the blocked SIMD TrainEngine; returns a report
+/// with the wall time and throughput.
 BackpropReport train_backprop(FloatMlp& net, const datasets::Dataset& train,
                               const BackpropConfig& cfg);
 
-/// Convenience: init + train + return the trained network.
+/// The original per-sample scalar loop — reference oracle for the engine
+/// (same update rule, no blocking, no threads, no SIMD).
+BackpropReport train_backprop_naive(FloatMlp& net,
+                                    const datasets::Dataset& train,
+                                    const BackpropConfig& cfg);
+
+/// Convenience: init + train (engine-backed, cfg.restarts restarts sharing
+/// one TrainEngine) + return the most accurate network. When `report` is
+/// non-null it receives the winning restart's training report.
 [[nodiscard]] FloatMlp train_float_mlp(const Topology& topology,
                                        const datasets::Dataset& train,
-                                       const BackpropConfig& cfg);
+                                       const BackpropConfig& cfg,
+                                       BackpropReport* report = nullptr);
 
 }  // namespace pmlp::mlp

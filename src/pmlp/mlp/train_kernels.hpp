@@ -1,0 +1,63 @@
+// Sample-blocked double-precision training kernels behind the runtime SIMD
+// dispatch (core/simd.hpp) — the gradient-descent twin of eval_kernels.hpp.
+//
+// A block holds up to TrainEngine::kBlockSamples samples in neuron-major
+// double planes: the value of unit `i` for sample `s` lives at
+// `p[i * nb + s]`, stride `nb` = the block's sample count. The three sweeps
+// below are the dense counterparts of one backprop step:
+//
+//   forward  out[o][s] = bias[o] + sum_i w[o][i] * in[i][s]   (+ ReLU)
+//   grad     dw[o][i] += sum_s delta[o][s] * in[i][s]
+//            db[o]    += sum_s delta[o][s]
+//   delta    prev[i][s] = (sum_o w[o][i] * delta[o][s]) * relu'(act[i][s])
+//
+// Determinism contract (see train_engine.hpp): in the forward and delta
+// sweeps every SIMD lane is one sample, and each lane accumulates its
+// reduction (over i resp. o) in ascending index order — vector width never
+// changes any sample's summation order, only how many samples run at once.
+// The grad sweep is the one genuine cross-sample reduction: the SIMD
+// variants keep lane-strided partial sums combined in a fixed lane order,
+// so each variant is deterministic, but — unlike the eval engine's int32
+// kernels — the float summation ORDER differs between ISAs (and the AVX2/
+// NEON variants contract multiply-add into FMA). Results are therefore
+// bit-identical per ISA, and only tolerance-equal across ISAs.
+#pragma once
+
+#include "pmlp/core/simd.hpp"
+
+namespace pmlp::mlp {
+
+/// out[o*nb+s] = bias[o] + sum_i w[o*n_in+i] * in[i*nb+s]; when `relu`,
+/// the result is clamped to max(., 0) (hidden layers — the output layer is
+/// linear, softmax lives in the loss).
+void train_forward_sweep(core::SimdIsa isa, const double* w,
+                         const double* bias, int n_in, int n_out,
+                         const double* in, double* out, int nb, bool relu);
+
+/// Accumulate this block's weight/bias gradients: dw[o*n_in+i] +=
+/// sum_s delta[o*nb+s] * in[i*nb+s] and db[o] += sum_s delta[o*nb+s].
+/// The sample sum is the per-ISA-deterministic reduction described above.
+void train_grad_sweep(core::SimdIsa isa, const double* delta, const double* in,
+                      int n_in, int n_out, int nb, double* dw, double* db);
+
+/// Softmax over the class dimension for every sample in the block:
+/// probs[o*nb+s] = exp(z[o*nb+s] - mx_s) / sum_o exp(z[o*nb+s] - mx_s) with
+/// mx_s = max_o z[o*nb+s]. The scalar variant replicates the naive oracle's
+/// per-sample arithmetic exactly (max-subtract, std::exp and accumulate in
+/// ascending class order, divide). The AVX2 variant runs 4 samples per lane
+/// group with a Cephes-style polynomial exp (~2 ulp) and multiplies by the
+/// reciprocal sum — per-ISA deterministic, tolerance-equal to scalar like
+/// the FMA sweeps. NEON currently falls back to the scalar variant (its
+/// 2-lane win would not cover a hand-rolled float64x2 exp).
+void train_softmax_sweep(core::SimdIsa isa, const double* z, int n_out,
+                         int nb, double* probs);
+
+/// Back-propagate deltas through one layer's weights with the leaky-ReLU
+/// derivative gate of backprop.hpp: prev[i*nb+s] = g * s_i where
+/// s_i = sum_o w[o*n_in+i] * delta[o*nb+s] and g = 1 when
+/// in_act[i*nb+s] > 0, else `relu_leak`.
+void train_delta_sweep(core::SimdIsa isa, const double* w, int n_in,
+                       int n_out, const double* delta, const double* in_act,
+                       double* prev, int nb, double relu_leak);
+
+}  // namespace pmlp::mlp

@@ -374,6 +374,14 @@ int cmd_run(const std::string& dataset, int pop, int gens,
     std::cout << "baseline: acc " << result.baseline.baseline_test_accuracy
               << ", " << result.baseline.baseline_cost.area_cm2() << " cm2, "
               << result.baseline.baseline_cost.power_mw() << " mW\n";
+    // samples_per_second is runtime metadata, zero when the backprop stage
+    // was reused from a checkpoint (this process never trained for it).
+    if (result.backprop.samples_per_second > 0.0) {
+      std::cout << "train engine: " << result.backprop.samples_per_second
+                << " samples/s (" << result.backprop.simd_isa
+                << " dispatch, block " << result.backprop.block << ", "
+                << result.backprop.threads << " threads)\n";
+    }
     std::cout << "GA engine: " << result.training.evaluations << " evals in "
               << result.training.wall_seconds << " s ("
               << result.training.evals_per_second

@@ -37,19 +37,24 @@ export PMLP_POP="${PMLP_POP:-24}"
 export PMLP_GENS="${PMLP_GENS:-10}"
 export PMLP_EPOCHS="${PMLP_EPOCHS:-60}"
 
-# Prints dataset rows as "name grad_s ga_s gaaxc_s", one final
-# "THROUGHPUT evals_per_s total_evals cache_hit_rate" row, per-stage
-# "STAGE name seconds" rows, a "HWCAND n" row, a "REFINE trials aborts
-# bits biases" row, a "THREADS n" row (the intra-run knob the bench
-# resolved) and a "CAMPAIGN flows pool_threads wall stage_wall flows_per_s"
-# row, with the paper's parenthesized reference minutes stripped.
+# Prints full-precision "Timing name grad_s ga_s gaaxc_s" dataset rows (the
+# human-readable table rounds to 2 decimals, which recorded sub-10ms stages
+# as 0.0 — parse the machine rows only), one final "THROUGHPUT evals_per_s
+# total_evals cache_hit_rate" row, per-stage "STAGE name seconds" rows, a
+# "HWCAND n" row, a "REFINE trials aborts bits biases" row, a "BACKPROP
+# naive_s engine_s samples_per_s isa block speedup" row (TrainEngine vs
+# naive oracle), a "THREADS n" row (the intra-run knob the bench resolved)
+# and a "CAMPAIGN flows pool_threads wall stage_wall flows_per_s" row, with
+# the paper's parenthesized reference minutes stripped.
 run_once() {
   PMLP_THREADS="$1" "$BENCH" |
     sed 's/([^)]*)//g' |
-    awk '$1 ~ /^(BreastCancer|Cardio|Pendigits|RedWine|WhiteWine)$/ \
-         {printf "%s %s %s %s\n", $1, $2, $3, $4}
+    awk '$1 == "Timing" \
+         {printf "ROW %s %s %s %s\n", $2, $3, $4, $5}
          $1 == "Throughput:" \
          {printf "THROUGHPUT %s %s %s\n", $2, $5, $11}
+         $1 == "BackpropStage" \
+         {printf "BACKPROP %s %s %s %s %s %s\n", $3, $5, $7, $9, $11, $13}
          $1 == "StageWall" \
          {printf "STAGE %s %s\n", $2, $3}
          $1 == "HwCandidates" \
@@ -74,7 +79,8 @@ import json, os, sys
 
 def parse(block):
     out = {"rows": {}, "perf": {}, "stages": {}, "hw_cand": 0, "refine": {},
-           "threads": None, "campaign": {}, "simd_isa": None, "eval_block": 0}
+           "threads": None, "campaign": {}, "simd_isa": None, "eval_block": 0,
+           "backprop": {}}
     for line in block.strip().splitlines():
         fields = line.split()
         if fields[0] == "THROUGHPUT":
@@ -90,6 +96,13 @@ def parse(block):
                              "early_aborts": int(fields[2]),
                              "bits_cleared": int(fields[3]),
                              "biases_simplified": int(fields[4])}
+        elif fields[0] == "BACKPROP":
+            out["backprop"] = {"naive_s": float(fields[1]),
+                               "engine_s": float(fields[2]),
+                               "samples_per_s": float(fields[3]),
+                               "simd_isa": fields[4],
+                               "block": int(fields[5]),
+                               "speedup": float(fields[6])}
         elif fields[0] == "THREADS":
             out["threads"] = int(fields[1])
         elif fields[0] == "SIMD":
@@ -101,8 +114,8 @@ def parse(block):
                                "wall_s": float(fields[3]),
                                "stage_wall_s": float(fields[4]),
                                "flows_per_s": float(fields[5])}
-        else:
-            name, grad, ga, axc = fields
+        elif fields[0] == "ROW":
+            _, name, grad, ga, axc = fields
             out["rows"][name] = {"grad_s": float(grad), "ga_s": float(ga),
                                  "gaaxc_s": float(axc)}
     return out
@@ -120,6 +133,11 @@ for section, cfg in (("serial", serial), ("parallel", parallel)):
     if cfg["simd_isa"] is None:
         sys.exit(f"error: {section} bench output is missing its SimdDispatch "
                  "row — kernel ISA not recorded")
+    if not cfg["backprop"]:
+        sys.exit(f"error: {section} bench output is missing its "
+                 "BackpropStage row — train-engine speedup not recorded")
+    if not cfg["rows"]:
+        sys.exit(f"error: {section} bench output has no Timing rows")
 if serial["threads"] != 1 or serial["campaign"]["pool_threads"] != 1:
     sys.exit("error: PMLP_THREADS=1 was ignored (serial section reports "
              f"{serial['threads']} intra-run / "
@@ -189,6 +207,20 @@ doc = {
         "bits_cleared": serial["refine"].get("bits_cleared", 0),
         "biases_simplified": serial["refine"].get("biases_simplified", 0),
         "serial_s": round(serial["stages"].get("refine", 0.0), 4),
+    },
+    # Blocked SIMD TrainEngine vs the per-sample naive backprop oracle at
+    # the same epochs budget (serial section, so the speedup is the pure
+    # kernel/blocking win; flow_backprop_s is the serial campaign flows'
+    # backprop-stage compute wall for the per-PR trajectory).
+    "backprop_stage": {
+        "naive_s": serial["backprop"]["naive_s"],
+        "engine_s": serial["backprop"]["engine_s"],
+        "speedup": round(serial["backprop"]["speedup"], 3),
+        "train_samples_per_s": round(serial["backprop"]["samples_per_s"], 1),
+        "simd_isa": serial["backprop"]["simd_isa"],
+        "block": serial["backprop"]["block"],
+        "flow_backprop_s": serial["stages"].get("backprop", 0.0),
+        "parallel_engine_s": parallel["backprop"]["engine_s"],
     },
     # GA-AxC evaluation-engine throughput (compiled sparse inference +
     # genome memo cache); the per-PR perf trajectory figure. simd_isa and
