@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "pmlp/core/serialize.hpp"
 #include "pmlp/core/thread_pool.hpp"
 
 namespace pmlp::core {
@@ -147,6 +148,19 @@ void CampaignRunner::step(std::size_t index) {
     } catch (...) {
       finish_flow(st, CampaignFlowStatus::kFailed, "unknown error");
       return;
+    }
+    if (!cfg_.checkpoint_root.empty()) {
+      // Terminal marker for the distributed-worker protocol (worker.hpp):
+      // workers and `campaign status` treat a done.txt flow as finished.
+      // Advisory only — a failure to write it never fails the flow.
+      try {
+        write_artifact_file(
+            (std::filesystem::path(cfg_.checkpoint_root) / st.outcome.name /
+             "done.txt")
+                .string(),
+            [](std::ostream& os) { os << "pmlp-done v1\nworker -\nend\n"; });
+      } catch (const std::exception&) {
+      }
     }
     finish_flow(st, CampaignFlowStatus::kDone, "");
     return;

@@ -53,6 +53,13 @@ inline constexpr int kNumFlowStages = 7;
 /// Stable lower-case stage name ("split", "backprop", ...).
 [[nodiscard]] const char* flow_stage_name(FlowStage stage);
 
+/// Checkpoint artifact file committed when the stage completes (the LAST
+/// file for multi-artifact stages, so its existence implies the whole stage
+/// is on disk). nullptr for kSelect, which is derived and never
+/// checkpointed. This is how campaign workers and `campaign status` read a
+/// flow's progress from the checkpoint tree alone.
+[[nodiscard]] const char* flow_stage_artifact(FlowStage stage);
+
 /// Wall-time / work accounting of one executed (or reloaded) stage —
 /// TrainingResult-style counters at flow granularity.
 struct StageReport {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "pmlp/core/fault_injection.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/netlist/builders.hpp"
 #include "pmlp/netlist/from_quant.hpp"
@@ -24,38 +25,45 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-std::ifstream open_artifact(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) {
-    throw std::runtime_error("FlowEngine: cannot open " + path);
-  }
-  return is;
-}
-
-/// Write through a temp file + rename so an interrupted run never leaves a
-/// half-written artifact that a resume would then reject. The stream is
-/// flushed and checked before the rename — a failed write (disk full, I/O
-/// error) must not install a truncated artifact.
+/// Crash-safe artifact commit (serialize.hpp): checksum footer appended,
+/// temp file + parent directory fsync'd before the rename — a SIGKILL or
+/// power loss at any instant leaves either the old or the new artifact,
+/// never a torn one. The fault-injection hook lets tests corrupt the
+/// freshly committed file to exercise the quarantine path below.
 void write_artifact(const std::string& path,
                     const std::function<void(std::ostream&)>& writer) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp);
-    if (!os) throw std::runtime_error("FlowEngine: cannot write " + tmp);
-    try {
-      writer(os);
-      os.flush();
-      if (!os) {
-        throw std::runtime_error("FlowEngine: short write to " + tmp);
-      }
-    } catch (...) {
-      os.close();
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw;
-    }
+  write_artifact_file(path, writer);
+  FaultInjector::instance().maybe_corrupt_artifact(path);
+}
+
+/// Move a corrupt artifact aside as `<path>.corrupt-N` (kept for post-mortem,
+/// never reloaded: loaders match exact names) so the stage can recompute.
+void quarantine_artifact(const std::string& path) {
+  std::error_code ec;
+  for (int n = 0; n < 1000; ++n) {
+    const std::string dst = path + ".corrupt-" + std::to_string(n);
+    if (fs::exists(dst, ec)) continue;
+    fs::rename(path, dst, ec);
+    if (!ec) return;
   }
-  fs::rename(tmp, path);
+  fs::remove(path, ec);  // pathological: give up on preserving it
+}
+
+/// Load a checkpoint artifact with checksum verification. Corruption —
+/// a failed footer check or a parse error — is NOT fatal: the damaged file
+/// is quarantined and the caller recomputes the stage (every stage is a
+/// bit-identical recompute, so dropping an artifact only costs time).
+/// I/O errors (unreadable file) still throw std::runtime_error.
+bool load_artifact(const std::string& path,
+                   const std::function<void(std::istream&)>& parse) {
+  try {
+    std::istringstream is(read_artifact_file(path));
+    parse(is);
+    return true;
+  } catch (const std::invalid_argument&) {
+    quarantine_artifact(path);
+    return false;
+  }
 }
 
 }  // namespace
@@ -71,6 +79,19 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kSelect: return "select";
   }
   return "?";
+}
+
+const char* flow_stage_artifact(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kSplit: return "test.qds";  // last of the four committed
+    case FlowStage::kBackprop: return "float_net.txt";
+    case FlowStage::kBaseline: return "baseline.txt";
+    case FlowStage::kGa: return "ga_front.txt";
+    case FlowStage::kRefine: return "refined_front.txt";
+    case FlowStage::kHardware: return "evaluated.txt";
+    case FlowStage::kSelect: return nullptr;  // derived, never checkpointed
+  }
+  return nullptr;
 }
 
 FlowEngine::FlowEngine(datasets::Dataset data, mlp::Topology topology,
@@ -176,7 +197,16 @@ void FlowEngine::ensure_checkpoint() {
   const std::uint64_t config = config_fingerprint();
   const std::string meta_path = path(kMetaFile);
   if (fs::exists(meta_path)) {
-    auto is = open_artifact(meta_path);
+    // Meta damage is always fatal (invalid_argument), never quarantined:
+    // without the digest/fingerprint guard a resume could silently mix
+    // artifacts from a different dataset or config.
+    std::istringstream is;
+    try {
+      is.str(read_artifact_file(meta_path));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("FlowEngine: malformed checkpoint meta " +
+                                  meta_path + ": " + e.what());
+    }
     std::string magic, version, tag, name;
     std::uint64_t got_digest = 0, got_config = 0;
     bool ok = static_cast<bool>(is >> magic >> version) &&
@@ -233,26 +263,21 @@ void FlowEngine::stage_split() {
       fs::exists(path("train_raw.ds")) && fs::exists(path("test_raw.ds")) &&
       fs::exists(path("train.qds")) && fs::exists(path("test.qds"))) {
     SplitArtifacts s;
-    {
-      auto is = open_artifact(path("train_raw.ds"));
-      s.train_raw = load_dataset(is);
+    const bool ok =
+        load_artifact(path("train_raw.ds"),
+                      [&](std::istream& is) { s.train_raw = load_dataset(is); }) &&
+        load_artifact(path("test_raw.ds"),
+                      [&](std::istream& is) { s.test_raw = load_dataset(is); }) &&
+        load_artifact(path("train.qds"),
+                      [&](std::istream& is) { s.train = load_quant_dataset(is); }) &&
+        load_artifact(path("test.qds"),
+                      [&](std::istream& is) { s.test = load_quant_dataset(is); });
+    if (ok) {
+      split_ = std::move(s);
+      report(FlowStage::kSplit, seconds_since(t0), /*reused=*/true,
+             static_cast<long>(split_->train.size() + split_->test.size()));
+      return;
     }
-    {
-      auto is = open_artifact(path("test_raw.ds"));
-      s.test_raw = load_dataset(is);
-    }
-    {
-      auto is = open_artifact(path("train.qds"));
-      s.train = load_quant_dataset(is);
-    }
-    {
-      auto is = open_artifact(path("test.qds"));
-      s.test = load_quant_dataset(is);
-    }
-    split_ = std::move(s);
-    report(FlowStage::kSplit, seconds_since(t0), /*reused=*/true,
-           static_cast<long>(split_->train.size() + split_->test.size()));
-    return;
   }
 
   auto halves = datasets::stratified_split(data_, config_.train_fraction,
@@ -292,11 +317,13 @@ void FlowEngine::stage_backprop() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
       fs::exists(path("float_net.txt"))) {
-    auto is = open_artifact(path("float_net.txt"));
-    float_net_ = load_float_mlp(is);
-    report(FlowStage::kBackprop, seconds_since(t0), /*reused=*/true,
-           config_.backprop.epochs);
-    return;
+    if (load_artifact(path("float_net.txt"), [&](std::istream& is) {
+          float_net_ = load_float_mlp(is);
+        })) {
+      report(FlowStage::kBackprop, seconds_since(t0), /*reused=*/true,
+             config_.backprop.epochs);
+      return;
+    }
   }
 
   // trainer.n_threads is the flow-wide parallelism knob; it supersedes
@@ -323,11 +350,13 @@ void FlowEngine::stage_baseline() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
       fs::exists(path("baseline.txt"))) {
-    auto is = open_artifact(path("baseline.txt"));
-    pricing_ = load_baseline_pricing(is);
-    report(FlowStage::kBaseline, seconds_since(t0), /*reused=*/true,
-           pricing_->cost.cell_count);
-    return;
+    if (load_artifact(path("baseline.txt"), [&](std::istream& is) {
+          pricing_ = load_baseline_pricing(is);
+        })) {
+      report(FlowStage::kBaseline, seconds_since(t0), /*reused=*/true,
+             pricing_->cost.cell_count);
+      return;
+    }
   }
 
   BaselinePricing p;
@@ -358,19 +387,64 @@ void FlowEngine::stage_ga() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
       fs::exists(path("ga_front.txt"))) {
-    auto is = open_artifact(path("ga_front.txt"));
-    training_ = load_training_result(is);
-    report(FlowStage::kGa, seconds_since(t0), /*reused=*/true,
-           training_->evaluations);
-    return;
+    if (load_artifact(path("ga_front.txt"), [&](std::istream& is) {
+          training_ = load_training_result(is);
+        })) {
+      report(FlowStage::kGa, seconds_since(t0), /*reused=*/true,
+             training_->evaluations);
+      return;
+    }
   }
 
-  training_ = train_ga_axc(topology_, split_->train, pricing_->net,
-                           config_.trainer);
+  // Generation-level checkpointing (ga.checkpoint_every > 0, excluded from
+  // the config fingerprint): every K generations the exact GenerationState
+  // is committed to ga_state.txt, so a killed GA stage resumes from its
+  // last generation block instead of from scratch — bit-identical either
+  // way. The state file is an in-progress scratch artifact: it is consumed
+  // on resume and deleted once ga_front.txt commits.
+  TrainerConfig trainer_cfg = config_.trainer;
+  const bool ga_checkpoints =
+      !checkpoint_dir_.empty() && trainer_cfg.ga.checkpoint_every > 0;
+  if (ga_checkpoints) {
+    const std::string state_path = path("ga_state.txt");
+    if (!upstream_recomputed_ && fs::exists(state_path)) {
+      auto state = std::make_shared<nsga2::GenerationState>();
+      if (load_artifact(state_path, [&](std::istream& is) {
+            *state = load_ga_state(is);
+          })) {
+        if (static_cast<int>(state->population.size()) ==
+                trainer_cfg.ga.population &&
+            state->next_generation >= 0 &&
+            state->next_generation <= trainer_cfg.ga.generations) {
+          trainer_cfg.ga.resume = std::move(state);
+        } else {
+          // Checksummed but from an incompatible run (the knob is outside
+          // the fingerprint guard): drop it and start the GA fresh.
+          quarantine_artifact(state_path);
+        }
+      }
+    }
+    trainer_cfg.ga.on_checkpoint = [this,
+                                    state_path](const nsga2::GenerationState&
+                                                    state) {
+      write_artifact(state_path, [&](std::ostream& os) {
+        save_ga_state(state, os);
+      });
+      FaultInjector::instance().maybe_kill_at_ga_checkpoint(
+          state.next_generation);
+    };
+  }
+
+  training_ =
+      train_ga_axc(topology_, split_->train, pricing_->net, trainer_cfg);
   if (!checkpoint_dir_.empty()) {
     write_artifact(path("ga_front.txt"), [&](std::ostream& os) {
       save_training_result(*training_, os);
     });
+    if (ga_checkpoints) {
+      std::error_code ec;
+      fs::remove(path("ga_state.txt"), ec);  // superseded by ga_front.txt
+    }
   }
   upstream_recomputed_ = true;
   report(FlowStage::kGa, seconds_since(t0), /*reused=*/false,
@@ -384,12 +458,14 @@ void FlowEngine::stage_refine() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
       fs::exists(path("refined_front.txt"))) {
-    auto is = open_artifact(path("refined_front.txt"));
-    training_ = load_training_result(is);
-    refined_ = true;
-    report(FlowStage::kRefine, seconds_since(t0), /*reused=*/true,
-           static_cast<long>(training_->estimated_pareto.size()));
-    return;
+    if (load_artifact(path("refined_front.txt"), [&](std::istream& is) {
+          training_ = load_training_result(is);
+        })) {
+      refined_ = true;
+      report(FlowStage::kRefine, seconds_since(t0), /*reused=*/true,
+             static_cast<long>(training_->estimated_pareto.size()));
+      return;
+    }
   }
 
   // The flow-wide parallelism knob drives the per-point refine fan-out too.
@@ -417,11 +493,13 @@ void FlowEngine::stage_hardware() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!checkpoint_dir_.empty() && !upstream_recomputed_ &&
       fs::exists(path("evaluated.txt"))) {
-    auto is = open_artifact(path("evaluated.txt"));
-    evaluated_ = load_evaluated_points(is);
-    report(FlowStage::kHardware, seconds_since(t0), /*reused=*/true,
-           static_cast<long>(evaluated_->size()));
-    return;
+    if (load_artifact(path("evaluated.txt"), [&](std::istream& is) {
+          evaluated_ = load_evaluated_points(is);
+        })) {
+      report(FlowStage::kHardware, seconds_since(t0), /*reused=*/true,
+             static_cast<long>(evaluated_->size()));
+      return;
+    }
   }
 
   // The flow-wide parallelism knob drives the hardware fan-out too.

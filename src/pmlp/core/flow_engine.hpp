@@ -21,14 +21,26 @@
 //   ga_front.txt        pmlp-training v1       (GA stage)
 //   refined_front.txt   pmlp-training v1       (refine stage)
 //   evaluated.txt       pmlp-evaluated v1      (hardware stage)
+//   ga_state.txt        pmlp-ga-state v1       (in-progress GA scratch,
+//                                              only with ga.checkpoint_every
+//                                              > 0; deleted when ga_front
+//                                              commits)
 //
 // The fingerprint covers everything that changes results; the bit-identical
-// knobs (thread counts, eval-cache capacity) are excluded, so a run may be
-// resumed with a different parallelism setting. If a stage has to be
-// recomputed (its artifact is missing), every downstream stage is also
-// recomputed and its artifact overwritten, so a checkpoint directory is
-// always a consistent set. The selection stage is derived (cheap) and never
-// checkpointed.
+// knobs (thread counts, eval-cache capacity, ga.checkpoint_every) are
+// excluded, so a run may be resumed with a different parallelism setting.
+// If a stage has to be recomputed (its artifact is missing), every
+// downstream stage is also recomputed and its artifact overwritten, so a
+// checkpoint directory is always a consistent set. The selection stage is
+// derived (cheap) and never checkpointed.
+//
+// Crash safety: every artifact commits via fsync'd temp file + rename with
+// a trailing crc32 checksum footer (serialize.hpp), so a SIGKILL at any
+// instant leaves either the old or the new complete artifact. On reload a
+// corrupt artifact (torn write from an unclean filesystem, bit rot) is
+// detected by its footer, quarantined to `<name>.corrupt-N` and the stage
+// recomputed — only meta.txt damage is fatal, because it guards against
+// resuming onto the wrong dataset/config.
 //
 // Benches that already hold a trained baseline can inject artifacts with
 // the provide_*() calls; injected stages are reported as reused and are not

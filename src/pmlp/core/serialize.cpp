@@ -1,6 +1,10 @@
 #include "pmlp/core/serialize.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +14,7 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "pmlp/bitops/bitops.hpp"
 
@@ -729,6 +734,258 @@ std::vector<HwEvaluatedPoint> load_evaluated_points(std::istream& is) {
     points.push_back(std::move(p));
   }
   throw std::invalid_argument("load_evaluated_points: missing end");
+}
+
+// ------------------------------------------------------------ GA state
+
+void save_ga_state(const nsga2::GenerationState& state, std::ostream& os) {
+  os << "pmlp-ga-state v1\n";
+  os << "generation " << state.next_generation << '\n';
+  os << "evaluations " << state.evaluations << '\n';
+  // The mt19937_64 stream serialization is space-separated tokens; keep it
+  // on one tagged line so the reader can take the line verbatim.
+  os << "rng " << state.rng << '\n';
+  const std::size_t n_genes =
+      state.population.empty() ? 0 : state.population.front().genes.size();
+  const std::size_t n_obj = state.population.empty()
+                                ? 0
+                                : state.population.front().objectives.size();
+  os << "population " << state.population.size() << ' ' << n_genes << ' '
+     << n_obj << '\n';
+  for (const auto& ind : state.population) {
+    os << "ind " << ind.rank << ' ';
+    write_hexdouble(os, ind.crowding);
+    os << ' ';
+    write_hexdouble(os, ind.constraint_violation);
+    os << '\n';
+    os << "genes";
+    for (int g : ind.genes) os << ' ' << g;
+    os << '\n';
+    os << "obj";
+    for (double o : ind.objectives) {
+      os << ' ';
+      write_hexdouble(os, o);
+    }
+    os << '\n';
+  }
+  os << "end\n";
+  check_stream(os, "save_ga_state");
+}
+
+nsga2::GenerationState load_ga_state(std::istream& is) {
+  expect_header(is, "pmlp-ga-state", "load_ga_state");
+  nsga2::GenerationState state;
+  expect_tag(is, "generation", "load_ga_state");
+  if (!(is >> state.next_generation) || state.next_generation < 0) {
+    throw std::invalid_argument("load_ga_state: bad generation");
+  }
+  expect_tag(is, "evaluations", "load_ga_state");
+  if (!(is >> state.evaluations) || state.evaluations < 0) {
+    throw std::invalid_argument("load_ga_state: bad evaluations");
+  }
+  expect_tag(is, "rng", "load_ga_state");
+  is >> std::ws;
+  if (!std::getline(is, state.rng) || state.rng.empty()) {
+    throw std::invalid_argument("load_ga_state: missing rng state");
+  }
+  while (!state.rng.empty() &&
+         (state.rng.back() == '\r' || state.rng.back() == ' ')) {
+    state.rng.pop_back();
+  }
+  expect_tag(is, "population", "load_ga_state");
+  std::size_t count = 0, n_genes = 0, n_obj = 0;
+  if (!(is >> count >> n_genes >> n_obj) || count > (std::size_t{1} << 20) ||
+      n_genes > (std::size_t{1} << 20) || n_obj > 16) {
+    throw std::invalid_argument("load_ga_state: bad population header");
+  }
+  state.population.reserve(count);
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") {
+      if (state.population.size() != count) {
+        throw std::invalid_argument("load_ga_state: population count "
+                                    "mismatch");
+      }
+      return state;
+    }
+    if (tag != "ind") {
+      throw std::invalid_argument("load_ga_state: unknown tag " + tag);
+    }
+    nsga2::Individual ind;
+    if (!(is >> ind.rank) || ind.rank < -1) {
+      throw std::invalid_argument("load_ga_state: bad rank");
+    }
+    ind.crowding = read_hexdouble(is, "load_ga_state");
+    ind.constraint_violation = read_hexdouble(is, "load_ga_state");
+    expect_tag(is, "genes", "load_ga_state");
+    ind.genes.resize(n_genes);
+    for (std::size_t g = 0; g < n_genes; ++g) {
+      if (!(is >> ind.genes[g])) {
+        throw std::invalid_argument("load_ga_state: malformed genes");
+      }
+    }
+    expect_tag(is, "obj", "load_ga_state");
+    ind.objectives.resize(n_obj);
+    for (std::size_t m = 0; m < n_obj; ++m) {
+      ind.objectives[m] = read_hexdouble(is, "load_ga_state");
+    }
+    state.population.push_back(std::move(ind));
+  }
+  throw std::invalid_argument("load_ga_state: missing end");
+}
+
+// ------------------------------------------------------- checksum footers
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string checksum_footer(const std::string& content) {
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(content.begin(), content.end(),
+                                          '\n'));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "# crc32 %08x lines %zu\n",
+                crc32(content.data(), content.size()), lines);
+  return buf;
+}
+
+void verify_checksum_footer(const std::string& content, const char* what) {
+  if (content.empty()) return;
+  // Locate the final line (newline-terminated or a trailing partial line —
+  // a partial line can only be a truncated footer and must be rejected).
+  const bool terminated = content.back() == '\n';
+  const std::size_t scan_end = terminated ? content.size() - 1
+                                          : content.size();
+  const std::size_t prev_nl = content.find_last_of('\n', scan_end == 0
+                                                             ? 0
+                                                             : scan_end - 1);
+  const std::size_t line_begin =
+      (scan_end == 0 || prev_nl == std::string::npos) ? 0 : prev_nl + 1;
+  if (line_begin >= content.size() || content[line_begin] != '#') {
+    return;  // no footer: a legacy artifact, accepted unverified
+  }
+  // From here on the file claims a footer; anything short of a complete,
+  // matching one is corruption.
+  const std::string line = content.substr(line_begin, scan_end - line_begin);
+  if (!terminated) {
+    throw std::invalid_argument(std::string(what) +
+                                ": truncated checksum footer");
+  }
+  unsigned long got_crc = 0;
+  std::size_t got_lines = 0;
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), "# crc32 %8lx lines %zu%n", &got_crc,
+                  &got_lines, &consumed) != 2 ||
+      consumed != static_cast<int>(line.size())) {
+    throw std::invalid_argument(std::string(what) +
+                                ": malformed checksum footer '" + line + "'");
+  }
+  const std::string_view body(content.data(), line_begin);
+  const auto body_lines = static_cast<std::size_t>(
+      std::count(body.begin(), body.end(), '\n'));
+  if (body_lines != got_lines) {
+    throw std::invalid_argument(
+        std::string(what) + ": checksum footer line count mismatch (footer " +
+        std::to_string(got_lines) + ", file " + std::to_string(body_lines) +
+        ")");
+  }
+  const std::uint32_t body_crc = crc32(body.data(), body.size());
+  if (body_crc != static_cast<std::uint32_t>(got_crc)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": checksum mismatch (artifact corrupt)");
+  }
+}
+
+std::string read_artifact_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::string content = buffer.str();
+  verify_checksum_footer(content, path.c_str());
+  return content;
+}
+
+namespace {
+
+/// fsync one path; directory syncs are best-effort (some filesystems
+/// reject O_DIRECTORY fsync), file syncs are mandatory.
+void fsync_file_or_throw(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot fsync " + path + ": " +
+                             std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("fsync failed for " + path + ": " +
+                             std::strerror(saved));
+  }
+}
+
+void fsync_dir_best_effort(const std::string& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_artifact_file(const std::string& path,
+                         const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ostringstream body;
+    writer(body);
+    std::string content = body.str();
+    content += checksum_footer(content);
+    {
+      std::ofstream os(tmp, std::ios::binary);
+      if (!os) throw std::runtime_error("cannot write " + tmp);
+      os.write(content.data(),
+               static_cast<std::streamsize>(content.size()));
+      os.flush();
+      if (!os) throw std::runtime_error("short write to " + tmp);
+    }
+    // Durability before visibility: the temp file's bytes must be on disk
+    // before the rename publishes them, and the rename itself before the
+    // parent directory claims the new name survived. Otherwise a power
+    // loss can publish an empty or partial artifact through the rename.
+    fsync_file_or_throw(tmp);
+    std::filesystem::rename(tmp, path);
+    fsync_dir_best_effort(
+        std::filesystem::path(path).parent_path().string());
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
 }
 
 // ---------------------------------------------------------- front artifacts

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -37,6 +38,7 @@
 #include "pmlp/core/approx_mlp.hpp"
 #include "pmlp/core/flow.hpp"
 #include "pmlp/core/hardware_analysis.hpp"
+#include "pmlp/nsga2/nsga2.hpp"
 
 namespace pmlp::core {
 
@@ -88,6 +90,54 @@ void save_evaluated_points(std::span<const HwEvaluatedPoint> points,
                            std::ostream& os);
 [[nodiscard]] std::vector<HwEvaluatedPoint> load_evaluated_points(
     std::istream& is);
+
+/// NSGA-II generation checkpoint (pmlp-ga-state v1): the exact evolution
+/// state at a generation boundary — survivor population in selection order
+/// with ranks/crowding, the serialized RNG stream and the evaluation
+/// counter — so a killed GA stage resumes bit-identically from its last
+/// generation block instead of from scratch.
+void save_ga_state(const nsga2::GenerationState& state, std::ostream& os);
+[[nodiscard]] nsga2::GenerationState load_ga_state(std::istream& is);
+
+// ------------------------------------------------------- checksum footers
+// Versioned artifacts carry a trailing self-describing checksum line
+//
+//   # crc32 <8-hex-digits> lines <newline-count>
+//
+// over every byte that precedes it. The line sits AFTER the format's `end`
+// terminator, so every loader (which stops consuming at `end`) is oblivious
+// to it — old readers accept new files, and new readers accept old files
+// without a footer (back-compat). read_artifact_file() verifies the footer
+// when present, turning silent truncation/corruption into a deterministic
+// std::invalid_argument instead of an incidental parse failure.
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `n` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n);
+
+/// The footer line (newline-terminated) guarding `content`.
+[[nodiscard]] std::string checksum_footer(const std::string& content);
+
+/// Verify a trailing checksum footer if `content` has one. Any final line
+/// starting with '#' must be a complete, matching crc32 footer — a footer
+/// damaged by truncation throws std::invalid_argument (prefixed with
+/// `what`), it never downgrades to "no footer". Content without a '#'
+/// final line passes unverified (legacy artifacts).
+void verify_checksum_footer(const std::string& content, const char* what);
+
+/// Read a whole artifact file and verify its checksum footer (when
+/// present). Throws std::runtime_error when the file cannot be read and
+/// std::invalid_argument on checksum/footer mismatch. The returned content
+/// still includes the footer line — loaders stop at `end` and never see it.
+[[nodiscard]] std::string read_artifact_file(const std::string& path);
+
+/// Crash-safe artifact commit: stream `writer` into `path + ".tmp"`, append
+/// the checksum footer, fsync the temp file AND its parent directory, then
+/// rename onto `path`. A kill or power loss at any instant leaves either
+/// the complete old artifact or the complete new one — never a truncated
+/// or empty file published under the final name. Throws std::runtime_error
+/// on any I/O failure (the temp file is removed).
+void write_artifact_file(const std::string& path,
+                         const std::function<void(std::ostream&)>& writer);
 
 // ----------------------------------------------------------- front artifacts
 // A --save-front directory is the CLI's serving artifact: one front_NNN.model

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <sstream>
 #include <stdexcept>
 
 namespace pmlp::nsga2 {
@@ -269,33 +270,57 @@ Result optimize(const Problem& problem, const Config& cfg) {
   Result result;
   PopulationEvaluator evaluator(problem, cfg.n_threads);
 
-  // --- Initial population: optional seeds + random fill.
   std::vector<Individual> pop;
-  pop.reserve(static_cast<std::size_t>(cfg.population));
-  for (auto& seed_genes : problem.seed_individuals(cfg.population)) {
-    if (static_cast<int>(pop.size()) >= cfg.population) break;
-    Individual ind;
-    ind.genes = std::move(seed_genes);
-    ind.genes.resize(static_cast<std::size_t>(problem.n_genes()), 0);
-    for (std::size_t g = 0; g < ind.genes.size(); ++g) {
-      const GeneBounds b = problem.bounds(static_cast<int>(g));
-      ind.genes[g] = std::clamp(ind.genes[g], b.lo, b.hi);
+  int start_generation = 0;
+  if (cfg.resume && !cfg.resume->population.empty()) {
+    // --- Resume from a generation checkpoint: the state IS the evolution
+    // (survivor order, ranks/crowding from the merged sort, RNG stream),
+    // so restoring it verbatim reproduces the uninterrupted run exactly.
+    if (static_cast<int>(cfg.resume->population.size()) != cfg.population) {
+      throw std::invalid_argument(
+          "nsga2: resume state population size mismatch");
     }
-    pop.push_back(std::move(ind));
+    if (cfg.resume->next_generation < 0 ||
+        cfg.resume->next_generation > cfg.generations) {
+      throw std::invalid_argument("nsga2: resume state generation out of "
+                                  "range");
+    }
+    pop = cfg.resume->population;
+    std::istringstream rng_in(cfg.resume->rng);
+    rng_in >> rng;
+    if (!rng_in) {
+      throw std::invalid_argument("nsga2: resume state RNG does not parse");
+    }
+    result.evaluations = cfg.resume->evaluations;
+    start_generation = cfg.resume->next_generation;
+  } else {
+    // --- Initial population: optional seeds + random fill.
+    pop.reserve(static_cast<std::size_t>(cfg.population));
+    for (auto& seed_genes : problem.seed_individuals(cfg.population)) {
+      if (static_cast<int>(pop.size()) >= cfg.population) break;
+      Individual ind;
+      ind.genes = std::move(seed_genes);
+      ind.genes.resize(static_cast<std::size_t>(problem.n_genes()), 0);
+      for (std::size_t g = 0; g < ind.genes.size(); ++g) {
+        const GeneBounds b = problem.bounds(static_cast<int>(g));
+        ind.genes[g] = std::clamp(ind.genes[g], b.lo, b.hi);
+      }
+      pop.push_back(std::move(ind));
+    }
+    while (static_cast<int>(pop.size()) < cfg.population) {
+      Individual ind;
+      ind.genes = random_genes(problem, rng);
+      pop.push_back(std::move(ind));
+    }
+    result.evaluations += evaluator.evaluate(pop);
+    fast_non_dominated_sort(pop);
+    assign_crowding_distances(pop);
   }
-  while (static_cast<int>(pop.size()) < cfg.population) {
-    Individual ind;
-    ind.genes = random_genes(problem, rng);
-    pop.push_back(std::move(ind));
-  }
-  result.evaluations += evaluator.evaluate(pop);
-  fast_non_dominated_sort(pop);
-  assign_crowding_distances(pop);
 
   std::bernoulli_distribution do_crossover(cfg.crossover_prob);
   std::bernoulli_distribution do_mutation(cfg.mutation_prob);
 
-  for (int gen = 0; gen < cfg.generations; ++gen) {
+  for (int gen = start_generation; gen < cfg.generations; ++gen) {
     // --- Variation: tournament parents -> crossover -> mutation.
     std::vector<Individual> offspring;
     offspring.reserve(static_cast<std::size_t>(cfg.population));
@@ -320,6 +345,18 @@ Result optimize(const Problem& problem, const Config& cfg) {
     pop = select_survivors(std::move(merged),
                            static_cast<std::size_t>(cfg.population));
     if (cfg.on_generation) cfg.on_generation(gen, pop);
+    if (cfg.checkpoint_every > 0 && cfg.on_checkpoint &&
+        gen + 1 < cfg.generations &&
+        (gen + 1) % cfg.checkpoint_every == 0) {
+      GenerationState state;
+      state.next_generation = gen + 1;
+      state.evaluations = result.evaluations;
+      std::ostringstream rng_out;
+      rng_out << rng;
+      state.rng = rng_out.str();
+      state.population = pop;
+      cfg.on_checkpoint(state);
+    }
   }
 
   result.pareto_front = extract_pareto_front(pop);

@@ -88,6 +88,19 @@ class Problem {
 
 enum class CrossoverKind { kUniform, kOnePoint, kTwoPoint };
 
+/// Exact evolution state at a generation boundary: everything optimize()
+/// needs to continue bit-identically from generation `next_generation`.
+/// The population carries the ranks/crowding assigned by the survivor
+/// selection over the MERGED parent+offspring set (they drive the next
+/// tournament and are NOT recomputable from the survivors alone), in the
+/// exact survivor order (the selection sort is unstable, so order is state).
+struct GenerationState {
+  int next_generation = 0;  ///< first generation still to run
+  long evaluations = 0;     ///< evaluations performed so far
+  std::string rng;          ///< mt19937_64 stream serialization
+  std::vector<Individual> population;
+};
+
 struct Config {
   int population = 100;
   int generations = 100;
@@ -111,6 +124,21 @@ struct Config {
   /// Called after each generation with the sorted parent population.
   std::function<void(int generation, const std::vector<Individual>&)>
       on_generation;
+  /// Generation-level checkpointing: every `checkpoint_every` generations
+  /// (0 = off) on_checkpoint receives the exact GenerationState; persisting
+  /// it lets a killed run resume bit-identically from the last block via
+  /// `resume`. Never invoked after the final generation (the caller
+  /// persists the finished result itself). Both knobs are bit-neutral:
+  /// they never perturb the RNG stream or the population.
+  int checkpoint_every = 0;
+  std::function<void(const GenerationState&)> on_checkpoint;
+  /// When set (and its population is non-empty), evolution continues from
+  /// this state instead of a fresh population: the initial evaluation and
+  /// sort are skipped and the loop starts at resume->next_generation. The
+  /// result is bit-identical to the uninterrupted run that produced the
+  /// state. Throws std::invalid_argument on a state whose population size
+  /// does not match cfg.population or whose RNG blob does not parse.
+  std::shared_ptr<const GenerationState> resume;
 };
 
 struct Result {

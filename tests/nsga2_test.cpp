@@ -234,6 +234,87 @@ TEST(Optimize, GenerationCallbackFires) {
   EXPECT_EQ(calls, 5);
 }
 
+TEST(Optimize, CheckpointKnobsAreBitNeutral) {
+  LinearTradeoff problem(6);
+  nsga2::Config plain;
+  plain.population = 20;
+  plain.generations = 12;
+  plain.seed = 77;
+  const auto ref = nsga2::optimize(problem, plain);
+
+  nsga2::Config ticking = plain;
+  ticking.checkpoint_every = 3;
+  int checkpoints = 0;
+  ticking.on_checkpoint = [&](const nsga2::GenerationState& st) {
+    ++checkpoints;
+    EXPECT_EQ(st.next_generation % 3, 0);
+    EXPECT_LT(st.next_generation, 12);  // never after the final generation
+    EXPECT_EQ(st.population.size(), 20u);
+    EXPECT_FALSE(st.rng.empty());
+  };
+  const auto r = nsga2::optimize(problem, ticking);
+  EXPECT_EQ(checkpoints, 3);  // gens 3, 6, 9
+  ASSERT_EQ(r.population.size(), ref.population.size());
+  for (std::size_t i = 0; i < ref.population.size(); ++i) {
+    EXPECT_EQ(r.population[i].genes, ref.population[i].genes);
+  }
+}
+
+TEST(Optimize, ResumeFromCheckpointBitIdentical) {
+  LinearTradeoff problem(6);
+  nsga2::Config cfg;
+  cfg.population = 20;
+  cfg.generations = 12;
+  cfg.seed = 31;
+  const auto ref = nsga2::optimize(problem, cfg);
+
+  // Capture every generation boundary, then restart from each one: the
+  // continuation must land on the uninterrupted run bit-for-bit (this is
+  // what makes a SIGKILL inside the GA stage recoverable from
+  // ga_state.txt).
+  std::vector<std::shared_ptr<nsga2::GenerationState>> states;
+  nsga2::Config capture = cfg;
+  capture.checkpoint_every = 1;
+  capture.on_checkpoint = [&](const nsga2::GenerationState& st) {
+    states.push_back(std::make_shared<nsga2::GenerationState>(st));
+  };
+  (void)nsga2::optimize(problem, capture);
+  ASSERT_EQ(states.size(), 11u);  // gens 1..11
+
+  for (const auto& state : states) {
+    nsga2::Config resumed = cfg;
+    resumed.resume = state;
+    const auto r = nsga2::optimize(problem, resumed);
+    ASSERT_EQ(r.population.size(), ref.population.size())
+        << "resume at gen " << state->next_generation;
+    for (std::size_t i = 0; i < ref.population.size(); ++i) {
+      EXPECT_EQ(r.population[i].genes, ref.population[i].genes)
+          << "resume at gen " << state->next_generation;
+      EXPECT_EQ(r.population[i].objectives, ref.population[i].objectives);
+    }
+    EXPECT_EQ(r.evaluations, ref.evaluations)
+        << "resume at gen " << state->next_generation;
+  }
+}
+
+TEST(Optimize, ResumeRejectsMismatchedState) {
+  LinearTradeoff problem(4);
+  nsga2::Config cfg;
+  cfg.population = 8;
+  cfg.generations = 4;
+  auto state = std::make_shared<nsga2::GenerationState>();
+  state->next_generation = 1;
+  state->population.resize(6);  // wrong population size
+  cfg.resume = state;
+  EXPECT_THROW((void)nsga2::optimize(problem, cfg), std::invalid_argument);
+  auto state2 = std::make_shared<nsga2::GenerationState>();
+  state2->next_generation = 1;
+  state2->population.resize(8);
+  state2->rng = "not a valid mt19937_64 stream";
+  cfg.resume = state2;
+  EXPECT_THROW((void)nsga2::optimize(problem, cfg), std::invalid_argument);
+}
+
 class CrossoverKinds
     : public ::testing::TestWithParam<nsga2::CrossoverKind> {};
 

@@ -2,7 +2,12 @@
 // (refine.hpp).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <random>
 
 #include "pmlp/core/chromosome.hpp"
@@ -10,10 +15,12 @@
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/mlp/backprop.hpp"
+#include "pmlp/nsga2/nsga2.hpp"
 
 namespace core = pmlp::core;
 namespace ds = pmlp::datasets;
 namespace mlp = pmlp::mlp;
+namespace nsga2 = pmlp::nsga2;
 
 namespace {
 
@@ -485,6 +492,200 @@ TEST(SerializeArtifacts, DatasetDigestDetectsChanges) {
   auto d4 = d;
   d4.name = "other";
   EXPECT_NE(core::dataset_digest(d), core::dataset_digest(d4));
+}
+
+TEST(SerializeArtifacts, GaStateRoundTripExact) {
+  nsga2::GenerationState st;
+  st.next_generation = 7;
+  st.evaluations = 421;
+  std::mt19937_64 rng(99);
+  rng.discard(12345);
+  {
+    std::ostringstream ros;
+    ros << rng;
+    st.rng = ros.str();
+  }
+  for (int i = 0; i < 4; ++i) {
+    nsga2::Individual ind;
+    ind.genes = {i, 2 * i, 5 - i};
+    ind.objectives = {0.5 + i, 1e-17 * i};
+    ind.constraint_violation = i == 2 ? 0.25 : 0.0;
+    ind.rank = i % 2;
+    // Boundary individuals carry infinite crowding — must survive a trip.
+    ind.crowding =
+        i == 0 ? std::numeric_limits<double>::infinity() : 0.125 * i;
+    st.population.push_back(std::move(ind));
+  }
+
+  const auto r = round_trip(st, core::save_ga_state, core::load_ga_state);
+  EXPECT_EQ(r.next_generation, st.next_generation);
+  EXPECT_EQ(r.evaluations, st.evaluations);
+  EXPECT_EQ(r.rng, st.rng);
+  ASSERT_EQ(r.population.size(), st.population.size());
+  for (std::size_t i = 0; i < st.population.size(); ++i) {
+    EXPECT_EQ(r.population[i].genes, st.population[i].genes);
+    EXPECT_EQ(r.population[i].objectives, st.population[i].objectives);
+    EXPECT_EQ(r.population[i].constraint_violation,
+              st.population[i].constraint_violation);
+    EXPECT_EQ(r.population[i].rank, st.population[i].rank);
+    EXPECT_EQ(r.population[i].crowding, st.population[i].crowding);
+  }
+  // The restored RNG blob must reproduce the exact stream.
+  std::mt19937_64 restored;
+  std::istringstream ris(r.rng);
+  ris >> restored;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(restored(), rng());
+
+  const auto good = dump(st, [](const auto& v, auto& os) {
+    core::save_ga_state(v, os);
+  });
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return core::load_ga_state(is);
+  };
+  EXPECT_THROW((void)parse("pmlp-ga-state v2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(good.substr(0, good.size() - 4)),
+               std::invalid_argument);
+  std::string bad = good;
+  bad.replace(bad.find("population 4"), 12, "population 5");
+  EXPECT_THROW((void)parse(bad), std::invalid_argument);
+}
+
+// --------------------------------------------- crash-truncation property
+
+namespace {
+
+/// One artifact type for the truncation sweep: its canonical body and a
+/// parse-then-redump functor (throws std::invalid_argument on damage).
+struct SweepArtifact {
+  const char* name;
+  std::string body;
+  std::function<std::string(const std::string&)> reparse;
+};
+
+template <typename T, typename Save, typename Load>
+SweepArtifact sweep_artifact(const char* name, const T& value, Save save,
+                             Load load) {
+  SweepArtifact a;
+  a.name = name;
+  a.body = dump(value, save);
+  a.reparse = [save, load](const std::string& text) {
+    std::istringstream is(text);
+    const T parsed = load(is);
+    std::ostringstream os;
+    save(parsed, os);
+    return os.str();
+  };
+  return a;
+}
+
+}  // namespace
+
+// A crash can leave any byte-prefix of an artifact on disk (the
+// fsync+rename commit in write_artifact_file makes this impossible for the
+// FINAL name, but the property must hold anyway: no prefix of any artifact
+// may load as silently wrong data). For every artifact type and every
+// prefix length: the read either throws std::invalid_argument or yields
+// the exact original value.
+TEST(SerializeArtifacts, EveryPrefixTruncationDetectedOrExact) {
+  namespace fs = std::filesystem;
+  std::vector<SweepArtifact> artifacts;
+  artifacts.push_back(sweep_artifact(
+      "dataset", tiny_dataset(), core::save_dataset, core::load_dataset));
+  artifacts.push_back(sweep_artifact("quant_dataset", tiny_quant(),
+                                     core::save_quant_dataset,
+                                     core::load_quant_dataset));
+  {
+    mlp::FloatMlp fnet(mlp::Topology{{4, 3, 2}}, 9);
+    artifacts.push_back(sweep_artifact("float_mlp", fnet,
+                                       core::save_float_mlp,
+                                       core::load_float_mlp));
+    core::BaselinePricing p;
+    p.net = mlp::QuantMlp::from_float(fnet);
+    p.cost.area_mm2 = 123.5;
+    p.train_accuracy = 0.875;
+    p.test_accuracy = 0.8333333333333333;
+    artifacts.push_back(sweep_artifact("baseline", p,
+                                       core::save_baseline_pricing,
+                                       core::load_baseline_pricing));
+  }
+  {
+    core::TrainingResult t;
+    t.evaluations = 12;
+    core::EstimatedPoint p;
+    p.model = random_model(5, mlp::Topology{{3, 2, 2}});
+    p.train_accuracy = 0.75;
+    p.fa_area = 42;
+    t.estimated_pareto.push_back(std::move(p));
+    artifacts.push_back(sweep_artifact("training", t,
+                                       core::save_training_result,
+                                       core::load_training_result));
+    core::HwEvaluatedPoint hp;
+    hp.model = random_model(6, mlp::Topology{{3, 2, 2}});
+    hp.test_accuracy = 0.5;
+    hp.fa_area = 9;
+    hp.cost.cell_count = 10;
+    const std::vector<core::HwEvaluatedPoint> pts = {hp};
+    artifacts.push_back(sweep_artifact(
+        "evaluated", pts,
+        [](const auto& v, std::ostream& os) {
+          core::save_evaluated_points(v, os);
+        },
+        [](std::istream& is) { return core::load_evaluated_points(is); }));
+  }
+  {
+    nsga2::GenerationState st;
+    st.next_generation = 2;
+    st.evaluations = 8;
+    std::mt19937_64 rng(3);
+    std::ostringstream ros;
+    ros << rng;
+    st.rng = ros.str();
+    nsga2::Individual ind;
+    ind.genes = {1, 2};
+    ind.objectives = {0.5};
+    st.population.push_back(std::move(ind));
+    artifacts.push_back(sweep_artifact("ga_state", st, core::save_ga_state,
+                                       core::load_ga_state));
+  }
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("pmlp_serialize_sweep_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  for (const auto& art : artifacts) {
+    SCOPED_TRACE(art.name);
+    const std::string full_path = (dir / art.name).string();
+    core::write_artifact_file(full_path,
+                              [&](std::ostream& os) { os << art.body; });
+    std::string full;
+    {
+      std::ifstream is(full_path, std::ios::binary);
+      std::stringstream ss;
+      ss << is.rdbuf();
+      full = ss.str();
+    }
+    ASSERT_GT(full.size(), art.body.size());  // footer appended
+    const std::string cut_path = full_path + ".cut";
+    int detected = 0, exact = 0;
+    for (std::size_t n = 0; n < full.size(); ++n) {
+      {
+        std::ofstream os(cut_path, std::ios::binary | std::ios::trunc);
+        os.write(full.data(), static_cast<std::streamsize>(n));
+      }
+      try {
+        const std::string text = core::read_artifact_file(cut_path);
+        EXPECT_EQ(art.reparse(text), art.body) << "prefix " << n;
+        ++exact;
+      } catch (const std::invalid_argument&) {
+        ++detected;  // damage caught — the only acceptable failure mode
+      }
+    }
+    // Almost every prefix must be rejected; the only loadable prefixes are
+    // the complete-body-no-footer legacy form(s).
+    EXPECT_GT(detected, static_cast<int>(full.size()) - 4) << art.name;
+    EXPECT_LE(exact, 3) << art.name;
+  }
+  fs::remove_all(dir);
 }
 
 // ------------------------------------------------------------------ refine

@@ -22,11 +22,32 @@
 //                                     pool (--threads N workers total; no
 //                                     per-flow thread forests). With
 //                                     --checkpoint DIR each flow persists
-//                                     under DIR/<dataset>_sK and a killed
-//                                     campaign resumes bit-identically;
-//                                     --json FILE writes the aggregated
-//                                     campaign report. Per-flow fronts are
-//                                     bit-identical to N independent runs.
+//                                     under DIR/<dataset>_sK, a manifest
+//                                     (campaign.txt) describes the grid,
+//                                     and a killed campaign resumes
+//                                     bit-identically; --json FILE writes
+//                                     the aggregated campaign report.
+//                                     Per-flow fronts are bit-identical to
+//                                     N independent runs. SIGINT/SIGTERM
+//                                     stop gracefully (checkpoints stay
+//                                     resumable).
+//   pmlp campaign --worker --checkpoint DIR
+//                                     join an existing campaign tree as a
+//                                     crash-safe distributed worker: claim
+//                                     unowned flows via per-flow lease
+//                                     files, run one stage per claim to
+//                                     its atomic commit, reclaim stale
+//                                     leases of dead/stalled workers. Any
+//                                     number of workers may drain one tree
+//                                     concurrently; a SIGKILLed worker
+//                                     forfeits at most one stage of work
+//                                     and the surviving workers finish the
+//                                     grid with bit-identical fronts.
+//   pmlp campaign status --checkpoint DIR
+//                                     render grid progress from the tree
+//                                     alone: per-flow stage counts, owner,
+//                                     heartbeat age, failure records
+//                                     (--json FILE|- for machine use).
 //   pmlp serve <front-dir>            long-lived classify server over a
 //                                     --save-front directory or a campaign
 //                                     checkpoint tree: line protocol on a
@@ -50,6 +71,26 @@
 //   --seeds K                         GA seeds 1..K per dataset (default 1)
 //   --resume                          require an existing --checkpoint root
 //                                     and continue from the completed stages
+//   --ga-checkpoint K                 GA generation-level checkpointing:
+//                                     persist the evolution state every K
+//                                     generations (ga_state.txt) so a
+//                                     killed GA stage resumes from its last
+//                                     block (0 = off; bit-identical either
+//                                     way; excluded from the config
+//                                     fingerprint)
+//
+// Worker options (campaign --worker):
+//   --worker                          drain an existing tree instead of
+//                                     running the grid in-process
+//   --worker-id ID                    stable worker identity (default
+//                                     <host>-<pid>-<random>)
+//   --lease-timeout S                 seconds without (claim, beat) change
+//                                     before a lease counts as stale and
+//                                     may be stolen (default 10)
+//   --heartbeat S                     lease refresh period (default 1)
+//   --max-failures N                  consecutive failed claims before a
+//                                     flow is marked terminally failed
+//                                     (default 3)
 //
 // Global options:
 //   --threads N                       flow-wide parallelism: GA fitness
@@ -99,6 +140,7 @@
 #include "pmlp/core/serve.hpp"
 #include "pmlp/core/suite.hpp"
 #include "pmlp/core/thread_pool.hpp"
+#include "pmlp/core/worker.hpp"
 #include "pmlp/datasets/metrics.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/hwmodel/power.hpp"
@@ -153,6 +195,16 @@ int g_port = 0;                // --port N (serve; 0 = OS-assigned)
 bool g_port_set = false;       // --port was given explicitly
 int g_batch = 64;              // --batch N (serve: max requests per batch)
 bool g_batch_set = false;      // --batch was given explicitly
+bool g_worker = false;         // --worker (campaign: drain an existing tree)
+std::string g_worker_id;       // --worker-id (campaign --worker)
+double g_lease_timeout = 10.0; // --lease-timeout S (campaign --worker)
+bool g_lease_timeout_set = false;
+double g_heartbeat = 1.0;      // --heartbeat S (campaign --worker)
+bool g_heartbeat_set = false;
+int g_max_failures = 3;        // --max-failures N (campaign --worker)
+bool g_max_failures_set = false;
+int g_ga_checkpoint = 0;       // --ga-checkpoint K (campaign: GA gen ckpt)
+bool g_ga_checkpoint_set = false;
 
 /// Usage-level argument errors throw this; main() maps it to exit code 2
 /// (runtime failures exit 1) instead of letting anything escape uncaught.
@@ -193,6 +245,12 @@ void reject_unused_flags(const std::string& cmd) {
       {"--json", !g_json.empty(), run_like || campaign},
       {"--port", g_port_set, serve},
       {"--batch", g_batch_set, serve},
+      {"--worker", g_worker, campaign},
+      {"--worker-id", !g_worker_id.empty(), campaign},
+      {"--lease-timeout", g_lease_timeout_set, campaign},
+      {"--heartbeat", g_heartbeat_set, campaign},
+      {"--max-failures", g_max_failures_set, campaign},
+      {"--ga-checkpoint", g_ga_checkpoint_set, campaign},
   };
   for (const auto& c : checks) {
     if (c.set && !c.consumed) {
@@ -473,9 +531,32 @@ std::vector<std::string> campaign_dataset_names(const std::string& csv) {
   return names;
 }
 
+core::CampaignRunner* g_campaign_runner = nullptr;  // SIGINT/SIGTERM -> stop
+core::CampaignWorker* g_campaign_worker = nullptr;
+
+void campaign_sigint(int) {
+  // One atomic store each: in-flight stages finish, checkpoints/leases are
+  // released cleanly, and the tree stays resumable.
+  if (g_campaign_runner != nullptr) g_campaign_runner->request_stop();
+  if (g_campaign_worker != nullptr) g_campaign_worker->request_stop();
+}
+
+/// The worker-mode flags are meaningless without --worker; catching them
+/// here keeps a typo'd coordinator invocation from silently training with
+/// half the intended setup.
+void require_worker_mode_flags_unused() {
+  if (!g_worker_id.empty() || g_lease_timeout_set || g_heartbeat_set ||
+      g_max_failures_set) {
+    throw UsageError(
+        "--worker-id/--lease-timeout/--heartbeat/--max-failures require "
+        "--worker");
+  }
+}
+
 int cmd_campaign(int pop, int gens) {
   const auto names = campaign_dataset_names(g_datasets);
   validate_checkpoint_path(g_checkpoint);
+  require_worker_mode_flags_unused();
   auto json_sink = open_json_sink();
   if (g_resume) {
     if (g_checkpoint.empty()) {
@@ -491,6 +572,10 @@ int cmd_campaign(int pop, int gens) {
   ccfg.n_threads = g_threads;
   ccfg.checkpoint_root = g_checkpoint;
   core::CampaignRunner runner(ccfg);
+  core::CampaignManifest manifest;
+  manifest.population = pop;
+  manifest.generations = gens;
+  manifest.ga_checkpoint = g_ga_checkpoint;
   for (const auto& name : names) {
     // One synthetic generation per dataset; the seed grid shares copies.
     const auto data = core::load_paper_dataset(name);
@@ -502,8 +587,16 @@ int cmd_campaign(int pop, int gens) {
       spec.topology = core::paper_topology(name);
       spec.config = default_flow(pop, gens);
       spec.config.trainer.ga.seed = static_cast<std::uint64_t>(seed);
+      spec.config.trainer.ga.checkpoint_every = g_ga_checkpoint;
+      manifest.flows.push_back(
+          {spec.name, name, static_cast<std::uint64_t>(seed)});
       runner.add_flow(std::move(spec));
     }
+  }
+  if (!g_checkpoint.empty()) {
+    // The manifest makes the tree self-describing: `--worker` processes
+    // and `campaign status` reconstruct the grid from it alone.
+    core::save_campaign_manifest(manifest, g_checkpoint);
   }
   const int total = static_cast<int>(names.size()) * g_seeds;
   std::cerr << "campaign: " << total << " flows (" << names.size()
@@ -517,7 +610,13 @@ int cmd_campaign(int pop, int gens) {
               << (p.stage.reused ? " (reused)" : "") << "  (" << p.flows_done
               << "/" << p.flows_total << " flows done)\n";
   });
+  g_campaign_runner = &runner;
+  std::signal(SIGINT, campaign_sigint);
+  std::signal(SIGTERM, campaign_sigint);
   const auto result = runner.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_campaign_runner = nullptr;
 
   const bool json_stdout = g_json == "-";
   if (!json_stdout) {
@@ -564,6 +663,106 @@ int cmd_campaign(int pop, int gens) {
     }
   }
   return result.all_ok() ? 0 : 1;
+}
+
+/// `pmlp campaign --worker --checkpoint DIR`: join an existing campaign
+/// tree as one crash-safe distributed drain process. The grid comes from
+/// the tree's manifest; pop/gens positionals are rejected so two workers
+/// can never disagree about the flow configs (the config fingerprint would
+/// catch it, but at the cost of a poisoned flow).
+int cmd_campaign_worker() {
+  if (g_checkpoint.empty()) {
+    throw UsageError("--worker requires --checkpoint DIR");
+  }
+  const auto manifest = core::load_campaign_manifest(g_checkpoint);
+
+  std::vector<core::CampaignFlowSpec> specs;
+  std::vector<std::pair<std::string, datasets::Dataset>> loaded;
+  for (const auto& f : manifest.flows) {
+    const datasets::Dataset* data = nullptr;
+    for (const auto& [name, d] : loaded) {
+      if (name == f.dataset) data = &d;
+    }
+    if (data == nullptr) {
+      loaded.emplace_back(f.dataset, core::load_paper_dataset(f.dataset));
+      data = &loaded.back().second;
+    }
+    core::CampaignFlowSpec spec;
+    spec.name = f.name;
+    spec.dataset = f.dataset;
+    spec.data = *data;
+    spec.topology = core::paper_topology(f.dataset);
+    spec.config = default_flow(manifest.population, manifest.generations);
+    spec.config.trainer.ga.seed = f.seed;
+    spec.config.trainer.ga.checkpoint_every =
+        g_ga_checkpoint_set ? g_ga_checkpoint : manifest.ga_checkpoint;
+    specs.push_back(std::move(spec));
+  }
+
+  core::WorkerConfig wcfg;
+  wcfg.checkpoint_root = g_checkpoint;
+  wcfg.worker_id = g_worker_id;
+  wcfg.lease_timeout_s = g_lease_timeout;
+  wcfg.heartbeat_s = g_heartbeat;
+  wcfg.max_failures = g_max_failures;
+  core::CampaignWorker worker(std::move(specs), wcfg);
+  worker.set_progress(
+      [&worker](const std::string& flow, const core::StageReport& r) {
+        std::cerr << "  [" << worker.worker_id() << " @ " << flow
+                  << "] stage " << core::flow_stage_name(r.stage) << ": "
+                  << r.wall_seconds << " s, " << r.items << " items"
+                  << (r.reused ? " (reused)" : "") << "\n";
+      });
+  std::cerr << "worker " << worker.worker_id() << ": joining campaign tree "
+            << g_checkpoint << " (" << manifest.flows.size()
+            << " flows, lease timeout " << g_lease_timeout
+            << " s, heartbeat " << g_heartbeat << " s)\n";
+
+  g_campaign_worker = &worker;
+  std::signal(SIGINT, campaign_sigint);
+  std::signal(SIGTERM, campaign_sigint);
+  const auto report = worker.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_campaign_worker = nullptr;
+
+  std::cout << "worker " << report.worker_id << ": "
+            << report.stages_computed << " stages computed, "
+            << report.stages_reloaded << " reloaded, " << report.claims
+            << " claims (" << report.claim_conflicts << " conflicts, "
+            << report.leases_stolen << " stale leases reclaimed), "
+            << report.flows_completed << " flows completed, "
+            << report.flows_failed << " marked failed, "
+            << report.stage_failures << " stage failures, "
+            << report.wall_seconds << " s wall\n";
+
+  // Exit reflects the TREE, not just this worker: 0 = fully drained with
+  // no failed flows (no matter which worker did the work).
+  const auto status = core::read_campaign_status(g_checkpoint);
+  if (status.failed > 0) return 1;
+  return status.done == static_cast<int>(status.flows.size()) ? 0 : 1;
+}
+
+/// `pmlp campaign status --checkpoint DIR`: grid progress from the tree
+/// alone — no worker processes are consulted, so it works mid-campaign,
+/// post-crash, or on a finished tree.
+int cmd_campaign_status() {
+  if (g_checkpoint.empty()) {
+    throw UsageError("campaign status requires --checkpoint DIR");
+  }
+  require_worker_mode_flags_unused();
+  auto json_sink = open_json_sink();
+  const auto status = core::read_campaign_status(g_checkpoint);
+  if (g_json == "-") {
+    core::write_campaign_status_json(status, std::cout);
+  } else {
+    core::write_campaign_status_table(status, std::cout);
+    if (json_sink) {
+      core::write_campaign_status_json(status, json_sink->os);
+      json_sink->finish();
+    }
+  }
+  return 0;
 }
 
 /// Rebuild evaluation data exactly as the training flow splits it.
@@ -706,6 +905,8 @@ int usage() {
   std::cerr << "usage: pmlp [--threads N] [--cache N] [--checkpoint DIR] "
                "[--json FILE] [--save-front DIR] [--datasets A,B,C] "
                "[--seeds K] [--resume] [--port N] [--batch N] "
+               "[--worker] [--worker-id ID] [--lease-timeout S] "
+               "[--heartbeat S] [--max-failures N] [--ga-checkpoint K] "
                "<list|metrics|baseline|run|resume|train|campaign|serve|"
                "classify|evaluate|export> [args...]\n"
                "(see the header of tools/pmlp_cli.cpp)\n";
@@ -725,6 +926,20 @@ int parse_nonneg(const char* flag, const char* value) {
     return -1;
   }
   return static_cast<int>(v);
+}
+
+/// Parse a strictly positive seconds value (--lease-timeout/--heartbeat);
+/// returns -1 on error.
+double parse_pos_seconds(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(v > 0.0) || errno == ERANGE) {
+    std::cerr << "error: " << flag << " expects positive seconds, got '"
+              << value << "'\n";
+    return -1.0;
+  }
+  return v;
 }
 
 /// Parse a strictly positive positional int (pop/gens/seeds); a garbled or
@@ -751,7 +966,9 @@ int main(int argc, char** argv) {
         std::strcmp(argv[i], "--cache") == 0 ||
         std::strcmp(argv[i], "--seeds") == 0 ||
         std::strcmp(argv[i], "--port") == 0 ||
-        std::strcmp(argv[i], "--batch") == 0) {
+        std::strcmp(argv[i], "--batch") == 0 ||
+        std::strcmp(argv[i], "--max-failures") == 0 ||
+        std::strcmp(argv[i], "--ga-checkpoint") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -780,15 +997,44 @@ int main(int argc, char** argv) {
         }
         g_batch = v;
         g_batch_set = true;
+      } else if (std::strcmp(flag, "--max-failures") == 0) {
+        if (v == 0) {
+          std::cerr << "error: --max-failures expects a positive int\n";
+          return usage();
+        }
+        g_max_failures = v;
+        g_max_failures_set = true;
+      } else if (std::strcmp(flag, "--ga-checkpoint") == 0) {
+        g_ga_checkpoint = v;
+        g_ga_checkpoint_set = true;
       } else {
         (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
       }
+    } else if (std::strcmp(argv[i], "--lease-timeout") == 0 ||
+               std::strcmp(argv[i], "--heartbeat") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        return usage();
+      }
+      const double v = parse_pos_seconds(flag, argv[++i]);
+      if (v < 0) return usage();
+      if (std::strcmp(flag, "--lease-timeout") == 0) {
+        g_lease_timeout = v;
+        g_lease_timeout_set = true;
+      } else {
+        g_heartbeat = v;
+        g_heartbeat_set = true;
+      }
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       g_resume = true;
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      g_worker = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 ||
                std::strcmp(argv[i], "--json") == 0 ||
                std::strcmp(argv[i], "--save-front") == 0 ||
-               std::strcmp(argv[i], "--datasets") == 0) {
+               std::strcmp(argv[i], "--datasets") == 0 ||
+               std::strcmp(argv[i], "--worker-id") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -801,6 +1047,8 @@ int main(int argc, char** argv) {
         g_json = value;
       } else if (std::strcmp(flag, "--datasets") == 0) {
         g_datasets = value;
+      } else if (std::strcmp(flag, "--worker-id") == 0) {
+        g_worker_id = value;
       } else {
         g_save_front = value;
       }
@@ -831,6 +1079,20 @@ int main(int argc, char** argv) {
                      cmd == "train");
     }
     if (cmd == "campaign") {
+      if (n >= 2 && args[1] == "status") {
+        if (g_worker) {
+          throw UsageError("campaign status does not take --worker");
+        }
+        return cmd_campaign_status();
+      }
+      if (g_worker) {
+        if (n >= 2) {
+          throw UsageError(
+              "campaign --worker takes no population/generations (the grid "
+              "comes from the tree's manifest)");
+        }
+        return cmd_campaign_worker();
+      }
       const int pop = n >= 2 ? parse_pos("population", args[1]) : 80;
       const int gens = n >= 3 ? parse_pos("generations", args[2]) : 200;
       return cmd_campaign(pop, gens);

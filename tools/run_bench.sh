@@ -244,6 +244,79 @@ PY
 
 echo "wrote $OUT" >&2
 
+# -------------------------------------------------- distributed workers
+# Crash-safe worker protocol throughput: drain one manifest-only checkpoint
+# tree with 1 worker process and then with 2 (lease claiming, stage-granular
+# round-robin), recording drain wall and flows/sec. Merged into the table3
+# JSON as "campaign_workers" so the lease/claim overhead and the
+# multi-process scaling ride the same perf trajectory as the shared-pool
+# campaign numbers.
+CLI="$BUILD_DIR/tools/pmlp_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "error: $CLI not built" >&2
+  exit 1
+fi
+WORKER_GRID="--datasets BreastCancer,Cardio --seeds 2 --threads 1"
+WORK_DIR=$(mktemp -d "${TMPDIR:-/tmp}/pmlp_worker_bench.XXXXXX")
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+echo "running campaign worker drain bench (1 vs 2 workers)..." >&2
+# Coordinator pass writes the manifest (and doubles as a warmup).
+"$CLI" $WORKER_GRID --checkpoint "$WORK_DIR/ref" \
+  campaign "$PMLP_POP" "$PMLP_GENS" > /dev/null
+FLOWS=$(grep -c '^flow ' "$WORK_DIR/ref/campaign.txt")
+
+# drain_wall N: N fresh worker processes drain a manifest-only copy of the
+# tree from scratch; prints the wall seconds of the whole drain.
+drain_wall() {
+  local n="$1"
+  local tree="$WORK_DIR/tree_w$n"
+  mkdir -p "$tree"
+  cp "$WORK_DIR/ref/campaign.txt" "$tree/"
+  local t0 t1 rc=0
+  t0=$(date +%s.%N)
+  local pids=()
+  for i in $(seq "$n"); do
+    "$CLI" --worker --worker-id "bench-w$i" --checkpoint "$tree" \
+      campaign > /dev/null &
+    pids+=("$!")
+  done
+  for pid in "${pids[@]}"; do
+    wait "$pid" || rc=$?
+  done
+  t1=$(date +%s.%N)
+  if [[ "$rc" -ne 0 ]]; then
+    echo "error: $n-worker drain failed (rc=$rc)" >&2
+    exit 1
+  fi
+  python3 -c "print(f'{$t1 - $t0:.4f}')"
+}
+
+WALL_W1=$(drain_wall 1)
+WALL_W2=$(drain_wall 2)
+
+python3 - "$OUT" "$FLOWS" "$WALL_W1" "$WALL_W2" <<'PY'
+import json, sys
+out = sys.argv[1]
+flows, wall1, wall2 = int(sys.argv[2]), float(sys.argv[3]), float(sys.argv[4])
+with open(out) as f:
+    doc = json.load(f)
+doc["campaign_workers"] = {
+    "flows": flows,
+    "workers_1_wall_s": round(wall1, 3),
+    "workers_2_wall_s": round(wall2, 3),
+    "speedup": round(wall1 / max(wall2, 1e-9), 3),
+    "flows_per_s": {"workers_1": round(flows / max(wall1, 1e-9), 4),
+                    "workers_2": round(flows / max(wall2, 1e-9), 4)},
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps({"campaign_workers": doc["campaign_workers"]}, indent=2))
+PY
+
+echo "merged campaign_workers into $OUT" >&2
+
 # ----------------------------------------------------------------- serving
 SERVE_BENCH="$BUILD_DIR/bench/bench_serve"
 if [[ ! -x "$SERVE_BENCH" ]]; then
