@@ -1,7 +1,12 @@
 // Verilog-export scenario: run the full flow on a chosen dataset and emit
 // the hand-off artifacts a hardware team would take to a real printed-EDA
 // flow — the trained model file, the optimized DUT netlist, and a
-// self-checking testbench with recorded stimulus/expected classes.
+// self-checking testbench with recorded + random stimulus — through the
+// verified core::rtl_export path: one circuit build, the optimized netlist
+// both ships as the DUT and produces the golden predictions, and the
+// emitted RTL is cross-checked in-process against the C++ oracle and the
+// gate-level simulator (plus an external iverilog/verilator run when one
+// is installed).
 //
 // The flow runs through the FlowEngine with a checkpoint directory under
 // the output dir, so re-running (e.g. after an interrupt, or to re-export
@@ -9,15 +14,12 @@
 //
 // Usage: verilog_export [dataset=BreastCancer] [outdir=.]
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 
 #include "pmlp/core/flow_engine.hpp"
+#include "pmlp/core/rtl_export.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/core/suite.hpp"
-#include "pmlp/netlist/opt.hpp"
-#include "pmlp/netlist/testbench.hpp"
-#include "pmlp/netlist/verilog.hpp"
 
 int main(int argc, char** argv) {
   using namespace pmlp;
@@ -71,44 +73,27 @@ int main(int argc, char** argv) {
   const auto model_path = outdir / (name + ".model");
   core::save_model_file(chosen.model, model_path.string());
 
-  // 2. Optimized DUT netlist as Verilog.
-  auto circuit =
-      netlist::build_bespoke_mlp(chosen.model.to_bespoke_desc(name));
-  netlist::OptStats stats;
-  circuit.nl = netlist::optimize(circuit.nl, &stats);
-  std::cerr << "optimize: removed " << stats.total_removed() << " cells, "
-            << stats.gates_remaining << " remain\n";
-
-  // Rebuild I/O metadata is unchanged by optimize (names preserved), but
-  // bus net ids moved; re-emit from a fresh unoptimized build for the
-  // testbench's golden predictions and keep the optimized netlist as DUT.
-  const auto golden =
-      netlist::build_bespoke_mlp(chosen.model.to_bespoke_desc(name));
-
-  const auto dut_path = outdir / (name + ".v");
-  {
-    std::ofstream os(dut_path);
-    netlist::emit_verilog(circuit.nl, name, os);
-  }
-
-  // 3. Self-checking testbench over the first test samples.
+  // 2. Verified RTL: DUT + testbench + manifest, recorded stimulus from
+  // the flow's own test split plus LFSR random vectors, three-way
+  // cross-checked before anything is written; an installed simulator runs
+  // the testbench too.
   const auto& test = result.baseline.test;
-  std::vector<std::uint8_t> codes;
-  const std::size_t n_vec = std::min<std::size_t>(test.size(), 64);
-  for (std::size_t i = 0; i < n_vec; ++i) {
-    const auto row_codes = test.row(i);
-    codes.insert(codes.end(), row_codes.begin(), row_codes.end());
-  }
-  netlist::TestbenchOptions tb;
-  tb.dut_name = name;
-  const auto tb_path = outdir / (name + "_tb.v");
-  {
-    std::ofstream os(tb_path);
-    netlist::emit_testbench(golden, test.n_features, codes, tb, os);
-  }
+  core::RtlPointSpec spec;
+  spec.name = name;
+  spec.model = chosen.model;
+  spec.recorded = test.codes;
+  const auto report = core::verify_rtl({&spec, 1}, outdir.string());
+  const auto& point = report.points.front();
 
-  std::cout << "wrote " << model_path << ", " << dut_path << " ("
-            << circuit.nl.gates().size() << " cells), " << tb_path << " ("
-            << n_vec << " vectors)\n";
-  return 0;
+  std::cout << "wrote " << model_path << ", " << point.dut_file << " ("
+            << point.gates << " cells), " << point.tb_file << " ("
+            << point.n_vectors() << " vectors), " << report.manifest_file
+            << "; sim " << core::rtl_sim_outcome_name(point.sim)
+            << (report.simulator.empty() ? " (no simulator found)"
+                                         : " (" + report.simulator + ")")
+            << "\n";
+  return point.sim == core::RtlSimOutcome::kFail ||
+                 point.sim == core::RtlSimOutcome::kError
+             ? 1
+             : 0;
 }

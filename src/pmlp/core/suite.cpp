@@ -1,6 +1,11 @@
 #include "pmlp/core/suite.hpp"
 
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <vector>
+
+#include "pmlp/datasets/uci.hpp"
 
 namespace pmlp::core {
 
@@ -17,8 +22,61 @@ datasets::SyntheticSpec find_paper_spec(const std::string& name) {
                               known);
 }
 
+std::string uci_data_dir() {
+  const char* dir = std::getenv("PMLP_UCI_DIR");
+  return dir != nullptr ? dir : "";
+}
+
+std::string find_uci_file(const std::string& name) {
+  (void)find_paper_spec(name);  // unknown dataset -> invalid_argument
+  const std::string root = uci_data_dir();
+  if (root.empty()) return "";
+
+  // Standard distribution file names per dataset, most common first.
+  std::vector<const char*> candidates;
+  if (name == "BreastCancer") {
+    candidates = {"breast-cancer-wisconsin.data"};
+  } else if (name == "Cardio") {
+    candidates = {"cardio_nsp.csv", "cardio.csv", "CTG.csv"};
+  } else if (name == "Pendigits") {
+    candidates = {"pendigits.tra", "pendigits.csv"};
+  } else if (name == "RedWine") {
+    candidates = {"winequality-red.csv"};
+  } else {
+    candidates = {"winequality-white.csv"};
+  }
+
+  for (const char* file : candidates) {
+    std::error_code ec;
+    const auto path = std::filesystem::path(root) / file;
+    if (std::filesystem::is_regular_file(path, ec)) return path.string();
+  }
+  return "";
+}
+
 datasets::Dataset load_paper_dataset(const std::string& name) {
-  return datasets::generate(find_paper_spec(name));
+  const auto spec = find_paper_spec(name);
+  const std::string file = find_uci_file(name);
+  if (file.empty()) return datasets::generate(spec);
+
+  auto real = datasets::load_uci(name, file);
+  // The topology, quantization and baselines are all sized by the Table I
+  // shape; a file with the wrong column count must fail here, not after a
+  // training run.
+  if (real.n_features != spec.n_features) {
+    throw std::invalid_argument(
+        "UCI file " + file + " has " + std::to_string(real.n_features) +
+        " features; " + name + " expects " +
+        std::to_string(spec.n_features));
+  }
+  if (real.n_classes > spec.n_classes) {
+    throw std::invalid_argument(
+        "UCI file " + file + " has " + std::to_string(real.n_classes) +
+        " classes; " + name + " expects at most " +
+        std::to_string(spec.n_classes));
+  }
+  real.n_classes = spec.n_classes;  // keep the Table I output width
+  return real;
 }
 
 const mlp::Topology& paper_topology(const std::string& name) {

@@ -3,6 +3,14 @@
 // One name ("BreastCancer", "Cardio", "Pendigits", "RedWine", "WhiteWine")
 // resolves to the synthetic stand-in spec, the generated dataset and the
 // Table I topology.
+//
+// Real UCI files replace the synthetic stand-ins when present on disk:
+// point PMLP_UCI_DIR at a directory holding the standard UCI file names
+// (breast-cancer-wisconsin.data, cardio.csv, pendigits.tra,
+// winequality-red.csv, winequality-white.csv) and load_paper_dataset()
+// loads the real data instead, validating that its shape matches the
+// Table I spec. Unset — the deterministic default — everything stays
+// synthetic and bit-reproducible.
 #pragma once
 
 #include <string>
@@ -16,7 +24,19 @@ namespace pmlp::core {
 /// std::invalid_argument listing the valid names.
 [[nodiscard]] datasets::SyntheticSpec find_paper_spec(const std::string& name);
 
-/// Generate the normalized dataset for a Table I name (deterministic).
+/// The PMLP_UCI_DIR root, or "" when unset/empty (synthetic mode).
+[[nodiscard]] std::string uci_data_dir();
+
+/// The real-data file that would back `name` under PMLP_UCI_DIR: probes
+/// the dataset's standard UCI file names and returns the first that
+/// exists, or "" when none does (or PMLP_UCI_DIR is unset). Throws
+/// std::invalid_argument on an unknown dataset name.
+[[nodiscard]] std::string find_uci_file(const std::string& name);
+
+/// The dataset for a Table I name: the real UCI file when PMLP_UCI_DIR
+/// holds one (throws std::invalid_argument when its feature/class shape
+/// contradicts the Table I spec — a malformed file must not silently
+/// train), the deterministic synthetic stand-in otherwise.
 [[nodiscard]] datasets::Dataset load_paper_dataset(const std::string& name);
 
 /// The Table I topology for the dataset (throws on unknown name).

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 namespace pmlp::netlist {
@@ -51,8 +52,10 @@ bool is_commutative(CellType t) {
 
 /// Rebuild the netlist, dropping non-live gates and (optionally) merging
 /// structural duplicates. Reconstruction goes through the public gate
-/// constructors, so constant folding is re-applied for free.
-Netlist replay(const Netlist& nl, bool drop_dead, bool cse, OptStats* stats) {
+/// constructors, so constant folding is re-applied for free. When `map_out`
+/// is non-null it receives the old->new net map the rebuild applied.
+Netlist replay(const Netlist& nl, bool drop_dead, bool cse, OptStats* stats,
+               NetMap* map_out = nullptr) {
   const auto live =
       drop_dead ? live_nets(nl)
                 : std::vector<char>(static_cast<std::size_t>(nl.n_nets()), 1);
@@ -198,28 +201,67 @@ Netlist replay(const Netlist& nl, bool drop_dead, bool cse, OptStats* stats) {
     out.mark_output(mapped(net), name);
   }
   if (stats) stats->gates_remaining = static_cast<long>(out.gates().size());
+  if (map_out) *map_out = std::move(net_map);
+  return out;
+}
+
+/// Compose two replay maps: a net surviving the first pass maps through the
+/// second; a net dropped by either pass stays dropped.
+NetMap compose(const NetMap& first, const NetMap& second) {
+  NetMap out(first.size(), -1);
+  for (std::size_t n = 0; n < first.size(); ++n) {
+    const NetId mid = first[n];
+    if (mid >= 0) out[n] = second[static_cast<std::size_t>(mid)];
+  }
   return out;
 }
 
 }  // namespace
 
-Netlist eliminate_dead_gates(const Netlist& nl, OptStats* stats) {
-  return replay(nl, /*drop_dead=*/true, /*cse=*/false, stats);
+Netlist eliminate_dead_gates(const Netlist& nl, OptStats* stats,
+                             NetMap* net_map) {
+  return replay(nl, /*drop_dead=*/true, /*cse=*/false, stats, net_map);
 }
 
-Netlist merge_duplicate_gates(const Netlist& nl, OptStats* stats) {
-  return replay(nl, /*drop_dead=*/false, /*cse=*/true, stats);
+Netlist merge_duplicate_gates(const Netlist& nl, OptStats* stats,
+                              NetMap* net_map) {
+  return replay(nl, /*drop_dead=*/false, /*cse=*/true, stats, net_map);
 }
 
-Netlist optimize(const Netlist& nl, OptStats* stats) {
-  Netlist merged = replay(nl, /*drop_dead=*/true, /*cse=*/true, stats);
+Netlist optimize(const Netlist& nl, OptStats* stats, NetMap* net_map) {
+  NetMap map1;
+  Netlist merged = replay(nl, /*drop_dead=*/true, /*cse=*/true, stats,
+                          net_map ? &map1 : nullptr);
   OptStats dead_stats;
-  Netlist out = replay(merged, /*drop_dead=*/true, /*cse=*/false, &dead_stats);
+  NetMap map2;
+  Netlist out = replay(merged, /*drop_dead=*/true, /*cse=*/false, &dead_stats,
+                       net_map ? &map2 : nullptr);
   if (stats) {
     stats->dead_gates_removed += dead_stats.dead_gates_removed;
     stats->gates_remaining = dead_stats.gates_remaining;
   }
+  if (net_map) *net_map = compose(map1, map2);
   return out;
+}
+
+BespokeCircuit optimize(BespokeCircuit circuit, OptStats* stats) {
+  NetMap map;
+  Netlist optimized = optimize(circuit.nl, stats, &map);
+  auto remap = [&](NetId n) {
+    const NetId m = map[static_cast<std::size_t>(n)];
+    if (m < 0) {
+      // I/O nets survive every pass: inputs are re-added unconditionally
+      // and output nets are live by definition.
+      throw std::logic_error("optimize: I/O net dropped by remap");
+    }
+    return m;
+  };
+  for (Bus& bus : circuit.input_buses) {
+    for (NetId& n : bus) n = remap(n);
+  }
+  for (NetId& n : circuit.class_index) n = remap(n);
+  circuit.nl = std::move(optimized);
+  return circuit;
 }
 
 }  // namespace pmlp::netlist

@@ -4,8 +4,18 @@
 // whose outputs drive nothing (dead-gate elimination) and merge structurally
 // identical gates (common-subexpression elimination), both of which appear
 // when masks prune most of a neuron away.
+//
+// Every pass can report the old-net -> new-net remap it applied, so callers
+// holding net ids into the pre-optimization netlist (bus metadata, probe
+// points) can carry them across the rewrite instead of rebuilding the
+// circuit from scratch. optimize(BespokeCircuit) packages exactly that for
+// the RTL-export path: the optimized netlist stays directly simulatable
+// through its input/output buses.
 #pragma once
 
+#include <vector>
+
+#include "pmlp/netlist/builders.hpp"
 #include "pmlp/netlist/netlist.hpp"
 
 namespace pmlp::netlist {
@@ -21,16 +31,37 @@ struct OptStats {
   }
 };
 
+/// Old-net -> new-net map produced by a pass: indexed by the input
+/// netlist's net id, -1 for nets that no longer exist (dead gates).
+/// Constants and primary inputs are always mapped; nets folded to a
+/// constant map to the new netlist's const0()/const1().
+using NetMap = std::vector<NetId>;
+
 /// Remove gates none of whose outputs reach a primary output (transitively).
 /// Returns the optimized netlist (inputs/outputs preserved, nets renumbered).
-[[nodiscard]] Netlist eliminate_dead_gates(const Netlist& nl, OptStats* stats = nullptr);
+/// When `net_map` is non-null it receives the old->new net remap.
+[[nodiscard]] Netlist eliminate_dead_gates(const Netlist& nl,
+                                           OptStats* stats = nullptr,
+                                           NetMap* net_map = nullptr);
 
 /// Merge gates with identical (type, inputs); downstream references are
 /// rewired to the surviving gate. Iterates to a fixed point so chains of
 /// duplicates collapse. Commutative gates match under input swap.
-[[nodiscard]] Netlist merge_duplicate_gates(const Netlist& nl, OptStats* stats = nullptr);
+[[nodiscard]] Netlist merge_duplicate_gates(const Netlist& nl,
+                                            OptStats* stats = nullptr,
+                                            NetMap* net_map = nullptr);
 
-/// Full pipeline: CSE to a fixed point, then dead-gate elimination.
-[[nodiscard]] Netlist optimize(const Netlist& nl, OptStats* stats = nullptr);
+/// Full pipeline: CSE to a fixed point, then dead-gate elimination. The
+/// reported `net_map` is the composition across both passes.
+[[nodiscard]] Netlist optimize(const Netlist& nl, OptStats* stats = nullptr,
+                               NetMap* net_map = nullptr);
+
+/// Optimize a complete bespoke circuit: runs the full pipeline on the
+/// netlist and remaps the input buses and class-index bus through the
+/// net map, so the result keeps its I/O metadata and predict() keeps
+/// working — no dual-build needed to pair an optimized DUT with golden
+/// predictions.
+[[nodiscard]] BespokeCircuit optimize(BespokeCircuit circuit,
+                                      OptStats* stats = nullptr);
 
 }  // namespace pmlp::netlist

@@ -185,6 +185,35 @@ TEST(Cli, ServeFlagsRejectedOnOtherSubcommands) {
   expect_usage_error(run_batch, "--batch is not supported");
 }
 
+TEST(Cli, RtlFlagsRejectedOnOtherSubcommands) {
+  // The new RTL flags must be in the ignored-flag table like every other
+  // subcommand-specific option.
+  const auto run_vectors = run_cli("run BreastCancer 8 1 --rtl-vectors 16");
+  expect_usage_error(run_vectors, "--rtl-vectors is not supported");
+  const auto serve_random = run_cli("serve --rtl-random 8 somedir");
+  expect_usage_error(serve_random, "--rtl-random is not supported");
+  const auto run_require = run_cli("run BreastCancer 8 1 --require-sim");
+  expect_usage_error(run_require, "--require-sim is not supported");
+  // --require-sim only makes sense where a simulator can run: verify-rtl,
+  // not the export-only subcommand.
+  const auto export_require =
+      run_cli("export-rtl somedir - out --require-sim");
+  expect_usage_error(export_require, "--require-sim is not supported");
+}
+
+TEST(Cli, RtlVectorFlagValuesValidated) {
+  const auto garbled = run_cli("export-rtl somedir - out --rtl-vectors x");
+  expect_usage_error(garbled, "non-negative int");
+  const auto negative = run_cli("verify-rtl somedir - out --rtl-random -3");
+  expect_usage_error(negative, "non-negative int");
+}
+
+TEST(Cli, ExportRtlMissingInputIsRuntimeFailure) {
+  const auto r = run_cli("export-rtl /nonexistent_dir_xyz/front - out");
+  EXPECT_EQ(r.status, 1) << r.out;
+  EXPECT_NE(r.out.find("error:"), std::string::npos) << r.out;
+}
+
 TEST(Cli, ServeMissingDirectoryIsUsageError) {
   const auto r = run_cli("serve /nonexistent_dir_xyz/front");
   expect_usage_error(r, "does not exist or is not a directory");

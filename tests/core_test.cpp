@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "pmlp/bitops/bitops.hpp"
@@ -8,6 +11,7 @@
 #include "pmlp/core/hardware_analysis.hpp"
 #include "pmlp/core/pareto.hpp"
 #include "pmlp/core/problem.hpp"
+#include "pmlp/core/suite.hpp"
 #include "pmlp/core/trainer.hpp"
 #include "pmlp/datasets/synthetic.hpp"
 #include "pmlp/mlp/backprop.hpp"
@@ -369,4 +373,79 @@ TEST(HardwareAnalysis, BestWithinLossPicksSmallestArea) {
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->cost.area_mm2, 50);
   EXPECT_FALSE(core::best_within_loss(pts, 0.98, 0.001).has_value());
+}
+
+// ---------------------------------------------------------- suite/UCI data
+
+namespace {
+
+/// Minimal but well-formed winequality-red.csv: 11 features + quality,
+/// semicolon-delimited with a quoted header, as shipped by UCI.
+std::string write_wine_dir(int n_rows) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "pmlp_suite_uci";
+  fs::create_directories(dir);
+  std::ofstream os(dir / "winequality-red.csv");
+  os << "\"fixed acidity\";\"volatile acidity\";\"citric acid\";"
+        "\"residual sugar\";\"chlorides\";\"free sulfur dioxide\";"
+        "\"total sulfur dioxide\";\"density\";\"pH\";\"sulphates\";"
+        "\"alcohol\";\"quality\"\n";
+  for (int i = 0; i < n_rows; ++i) {
+    for (int f = 0; f < 11; ++f) os << (0.5 + 0.01 * (i * 11 + f)) << ";";
+    os << (5 + i % 2) << "\n";
+  }
+  return dir.string();
+}
+
+/// setenv/unsetenv guard for PMLP_UCI_DIR.
+class UciDirGuard {
+ public:
+  explicit UciDirGuard(const std::string& dir) {
+    ::setenv("PMLP_UCI_DIR", dir.c_str(), 1);
+  }
+  ~UciDirGuard() { ::unsetenv("PMLP_UCI_DIR"); }
+};
+
+}  // namespace
+
+TEST(Suite, SyntheticByDefault) {
+  ::unsetenv("PMLP_UCI_DIR");
+  EXPECT_EQ(core::find_uci_file("RedWine"), "");
+  const auto d = core::load_paper_dataset("RedWine");
+  EXPECT_EQ(d.size(), 1599u);  // the Table I synthetic stand-in
+}
+
+TEST(Suite, UnknownNameThrowsWithChoices) {
+  EXPECT_THROW((void)core::find_uci_file("Nope"), std::invalid_argument);
+  EXPECT_THROW((void)core::load_paper_dataset("Nope"), std::invalid_argument);
+}
+
+TEST(Suite, UciDirLoadsRealFile) {
+  const auto dir = write_wine_dir(40);
+  UciDirGuard guard(dir);
+  const auto file = core::find_uci_file("RedWine");
+  ASSERT_NE(file, "");
+  EXPECT_NE(file.find("winequality-red.csv"), std::string::npos);
+  const auto d = core::load_paper_dataset("RedWine");
+  EXPECT_EQ(d.size(), 40u);  // the real rows, not the synthetic 1599
+  EXPECT_EQ(d.n_features, 11);
+  // Output width stays the Table I shape even when fewer quality levels
+  // appear in the file (the trained topology is sized by the spec).
+  EXPECT_EQ(d.n_classes, 6);
+  // Datasets without a file present still fall back to synthetic.
+  EXPECT_EQ(core::find_uci_file("Pendigits"), "");
+}
+
+TEST(Suite, UciDirShapeMismatchThrows) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "pmlp_suite_uci_bad";
+  fs::create_directories(dir);
+  {
+    std::ofstream os(dir / "winequality-red.csv");
+    os << "\"a\";\"b\";\"quality\"\n1.0;2.0;5\n3.0;4.0;6\n";
+  }
+  UciDirGuard guard(dir.string());
+  // 2 features where the Table I RedWine spec demands 11: fail fast.
+  EXPECT_THROW((void)core::load_paper_dataset("RedWine"),
+               std::invalid_argument);
 }

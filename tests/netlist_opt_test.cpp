@@ -109,6 +109,94 @@ TEST_P(OptEquivalence, OptimizedCircuitIsFunctionallyIdentical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OptEquivalence,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u));
 
+// ------------------------------------------------------------------ remap
+
+class OptRemap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptRemap, NetMapCarriesEveryLiveNetAcrossOptimize) {
+  const auto circuit = random_circuit(GetParam());
+  const auto& nl = circuit.nl;
+  nl::NetMap map;
+  const auto opt = nl::optimize(nl, nullptr, &map);
+
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(nl.n_nets()));
+  // Constants and primary I/O are always mapped.
+  EXPECT_EQ(map[static_cast<std::size_t>(nl.const0())], opt.const0());
+  EXPECT_EQ(map[static_cast<std::size_t>(nl.const1())], opt.const1());
+  ASSERT_EQ(opt.inputs().size(), nl.inputs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    EXPECT_EQ(map[static_cast<std::size_t>(nl.inputs()[i].first)],
+              opt.inputs()[i].first);
+    EXPECT_EQ(nl.inputs()[i].second, opt.inputs()[i].second);
+  }
+  for (const auto& [net, name] : nl.outputs()) {
+    EXPECT_GE(map[static_cast<std::size_t>(net)], 0) << "output " << name;
+  }
+
+  // Every mapped net computes the same value in both netlists, for random
+  // input vectors: the remap is a true simulation relation, not just an
+  // interface match.
+  std::mt19937_64 rng(GetParam() ^ 0x5EED);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<char> old_vals(static_cast<std::size_t>(nl.n_nets()), 0);
+    std::vector<char> new_vals(static_cast<std::size_t>(opt.n_nets()), 0);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      const char bit = (rng() & 1) != 0 ? 1 : 0;
+      old_vals[static_cast<std::size_t>(nl.inputs()[i].first)] = bit;
+      new_vals[static_cast<std::size_t>(opt.inputs()[i].first)] = bit;
+    }
+    nl.evaluate(old_vals);
+    opt.evaluate(new_vals);
+    for (std::size_t n = 0; n < map.size(); ++n) {
+      if (map[n] < 0) continue;
+      EXPECT_EQ(old_vals[n] != 0,
+                new_vals[static_cast<std::size_t>(map[n])] != 0)
+          << "net " << n << " -> " << map[n] << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(OptRemap, BespokeCircuitKeepsMetadataAndPredictions) {
+  const auto circuit = random_circuit(GetParam() ^ 0xC1C);
+  nl::OptStats stats;
+  auto copy = circuit;
+  const auto opt = nl::optimize(std::move(copy), &stats);
+
+  // Bus metadata survives with identical shape.
+  ASSERT_EQ(opt.input_buses.size(), circuit.input_buses.size());
+  for (std::size_t f = 0; f < circuit.input_buses.size(); ++f) {
+    EXPECT_EQ(opt.input_buses[f].size(), circuit.input_buses[f].size());
+  }
+  EXPECT_EQ(opt.class_index.size(), circuit.class_index.size());
+  EXPECT_EQ(opt.neuron_acc_widths, circuit.neuron_acc_widths);
+  EXPECT_LE(opt.nl.gates().size(), circuit.nl.gates().size());
+  EXPECT_EQ(stats.gates_remaining,
+            static_cast<long>(opt.nl.gates().size()));
+
+  // predict() through the remapped buses agrees with the original circuit.
+  std::mt19937_64 rng(GetParam() ^ 0xF00D);
+  const int n_features = static_cast<int>(circuit.input_buses.size());
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(n_features));
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng() & 0xF);
+    EXPECT_EQ(opt.predict(codes), circuit.predict(codes)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptRemap,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+TEST(OptRemap, DeadNetMapsToMinusOne) {
+  nl::Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  n.mark_output(n.add_and(a, b), "y");
+  const auto dead = n.add_xor(a, b);  // dead
+  nl::NetMap map;
+  (void)nl::eliminate_dead_gates(n, nullptr, &map);
+  EXPECT_EQ(map[static_cast<std::size_t>(dead)], -1);
+}
+
 TEST(OptStats, GatesRemainingReported) {
   nl::Netlist n;
   const auto a = n.add_input("a");

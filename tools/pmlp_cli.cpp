@@ -17,6 +17,28 @@
 //                                     power, feasibility zone @1V/0.6V)
 //   pmlp export <model> <dataset> <out-prefix>
 //                                     Verilog DUT + self-checking testbench
+//   pmlp export-rtl <front|model> [dataset|-] [outdir]
+//                                     verified RTL export of a whole saved
+//                                     front (--save-front dir or campaign
+//                                     checkpoint tree) or one .model file:
+//                                     per point an optimized DUT, a
+//                                     self-checking testbench (recorded
+//                                     dataset vectors + LFSR random
+//                                     stimulus) and a manifest.tsv row,
+//                                     after asserting bit-identical classes
+//                                     across the C++ oracle, the gate-level
+//                                     simulator and the in-process
+//                                     evaluation of the emitted Verilog.
+//                                     dataset "-" derives each point's
+//                                     dataset from the campaign tree path
+//                                     (random-only stimulus otherwise);
+//                                     outdir defaults to <input>_rtl
+//   pmlp verify-rtl <front|model> [dataset|-] [outdir]
+//                                     export-rtl, then compile+run every
+//                                     testbench with a discovered iverilog/
+//                                     verilator and require TESTBENCH PASS.
+//                                     No simulator installed is a graceful
+//                                     skip (exit 0) unless --require-sim
 //   pmlp campaign [pop] [gens]        run a dataset x seed grid of flows
 //                                     concurrently over ONE shared worker
 //                                     pool (--threads N workers total; no
@@ -92,8 +114,17 @@
 //                                     flow is marked terminally failed
 //                                     (default 3)
 //
+// RTL options (export-rtl / verify-rtl):
+//   --rtl-vectors N                   recorded dataset vectors per point
+//                                     (default 64)
+//   --rtl-random N                    LFSR random vectors per point
+//                                     (default 64)
+//   --require-sim                     verify-rtl: a missing simulator is a
+//                                     failure (exit 1), not a skip — the CI
+//                                     setting
+//
 // Global options:
-//   --threads N                       flow-wide parallelism: GA fitness
+//   --threads N                      flow-wide parallelism: GA fitness
 //                                     evaluation and hardware analysis
 //                                     (0 = all hardware threads, the
 //                                     default; 1 = serial; bit-identical
@@ -113,8 +144,11 @@
 //                                     (front_NNN.model) plus an index.tsv
 //                                     with accuracy/area/power per design
 //
-// Datasets are the synthetic paper suite; swap in real UCI files by loading
-// through pmlp::datasets::load_uci in your own driver.
+// Datasets are the synthetic paper suite by default. Set PMLP_UCI_DIR to a
+// directory holding the real UCI files (breast-cancer-wisconsin.data,
+// cardio.csv, pendigits.tra, winequality-{red,white}.csv) and every
+// subcommand loads the real data instead (core::suite validates the shape
+// against Table I).
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -127,6 +161,7 @@
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -136,6 +171,7 @@
 #include "pmlp/core/campaign.hpp"
 #include "pmlp/core/eval_engine.hpp"
 #include "pmlp/core/flow_engine.hpp"
+#include "pmlp/core/rtl_export.hpp"
 #include "pmlp/core/serialize.hpp"
 #include "pmlp/core/serve.hpp"
 #include "pmlp/core/suite.hpp"
@@ -205,6 +241,11 @@ int g_max_failures = 3;        // --max-failures N (campaign --worker)
 bool g_max_failures_set = false;
 int g_ga_checkpoint = 0;       // --ga-checkpoint K (campaign: GA gen ckpt)
 bool g_ga_checkpoint_set = false;
+int g_rtl_vectors = 64;        // --rtl-vectors N (export-rtl/verify-rtl)
+bool g_rtl_vectors_set = false;
+int g_rtl_random = 64;         // --rtl-random N (export-rtl/verify-rtl)
+bool g_rtl_random_set = false;
+bool g_require_sim = false;    // --require-sim (verify-rtl)
 
 /// Usage-level argument errors throw this; main() maps it to exit code 2
 /// (runtime failures exit 1) instead of letting anything escape uncaught.
@@ -231,6 +272,7 @@ void reject_unused_flags(const std::string& cmd) {
   const bool run_like = cmd == "run" || cmd == "resume" || cmd == "train";
   const bool campaign = cmd == "campaign";
   const bool serve = cmd == "serve";
+  const bool rtl = cmd == "export-rtl" || cmd == "verify-rtl";
   struct Check {
     const char* flag;
     bool set;
@@ -251,6 +293,9 @@ void reject_unused_flags(const std::string& cmd) {
       {"--heartbeat", g_heartbeat_set, campaign},
       {"--max-failures", g_max_failures_set, campaign},
       {"--ga-checkpoint", g_ga_checkpoint_set, campaign},
+      {"--rtl-vectors", g_rtl_vectors_set, rtl},
+      {"--rtl-random", g_rtl_random_set, rtl},
+      {"--require-sim", g_require_sim, cmd == "verify-rtl"},
   };
   for (const auto& c : checks) {
     if (c.set && !c.consumed) {
@@ -414,6 +459,10 @@ int cmd_run(const std::string& dataset, int pop, int gens,
   }
   std::cerr << "training " << dataset << " " << row.topology.to_string()
             << " with NSGA-II " << pop << "x" << gens << "...\n";
+  if (const auto uci = core::find_uci_file(dataset); !uci.empty()) {
+    std::cerr << "using real UCI data from " << uci
+              << " (PMLP_UCI_DIR)\n";
+  }
 
   core::FlowEngine engine(core::load_paper_dataset(dataset), row.topology,
                           default_flow(pop, gens));
@@ -875,10 +924,11 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
   const auto model = core::load_model_file(model_path);
   const auto test = test_split(dataset, default_flow(8, 1));
 
-  auto circuit = netlist::build_bespoke_mlp(model.to_bespoke_desc(prefix));
-  const auto golden =
-      netlist::build_bespoke_mlp(model.to_bespoke_desc(prefix));
-  circuit.nl = netlist::optimize(circuit.nl);
+  // One build: optimize(BespokeCircuit) keeps the I/O bus metadata valid
+  // across the rewrite, so the optimized DUT is also the circuit the
+  // testbench's golden predictions come from.
+  const auto circuit = netlist::optimize(
+      netlist::build_bespoke_mlp(model.to_bespoke_desc(prefix)));
   {
     std::ofstream os(prefix + ".v");
     netlist::emit_verilog(circuit.nl, prefix, os);
@@ -893,11 +943,141 @@ int cmd_export(const std::string& model_path, const std::string& dataset,
   tb.dut_name = prefix;
   {
     std::ofstream os(prefix + "_tb.v");
-    netlist::emit_testbench(golden, test.n_features, codes, tb, os);
+    netlist::emit_testbench(circuit, test.n_features, codes, tb, os);
   }
   std::cout << "wrote " << prefix << ".v (" << circuit.nl.gates().size()
             << " cells) and " << prefix << "_tb.v (" << n_vec
             << " vectors)\n";
+  return 0;
+}
+
+/// Derive a Table I dataset name from a campaign-tree front entry path
+/// ("<dataset>_s<seed>/front_NNN.model" -> "<dataset>"). Empty when the
+/// entry is not tree-shaped or the prefix is not a known dataset.
+std::string dataset_from_entry(const std::string& file) {
+  const auto slash = file.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string flow = file.substr(0, slash);
+  const auto us = flow.rfind("_s");
+  if (us == std::string::npos || us == 0) return "";
+  const std::string digits = flow.substr(us + 2);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return "";
+  }
+  const std::string dataset = flow.substr(0, us);
+  try {
+    (void)core::find_paper_spec(dataset);
+  } catch (const std::invalid_argument&) {
+    return "";
+  }
+  return dataset;
+}
+
+/// export-rtl / verify-rtl: verified RTL export of a saved front (directory)
+/// or a single .model file. `dataset` selects the recorded stimulus; "-"
+/// derives it per point from a campaign tree's flow names (random-only
+/// stimulus when nothing matches).
+int cmd_rtl(const std::string& input, const std::string& dataset,
+            const std::string& outdir, bool with_sim) {
+  if (dataset != "-") require_dataset(dataset);
+
+  // Recorded-stimulus test splits, resolved lazily per dataset actually
+  // referenced (a mixed-dataset campaign tree needs several).
+  std::map<std::string, datasets::QuantizedDataset> splits;
+  auto recorded_for = [&](const std::string& ds,
+                          const core::ApproxMlp& model) {
+    std::vector<std::uint8_t> codes;
+    if (ds.empty()) return codes;
+    auto it = splits.find(ds);
+    if (it == splits.end()) {
+      it = splits.emplace(ds, test_split(ds, default_flow(8, 1))).first;
+    }
+    const auto& test = it->second;
+    const int n_inputs = test.n_features;
+    if (model.topology().n_inputs() != n_inputs) {
+      throw UsageError("dataset " + ds + " has " + std::to_string(n_inputs) +
+                       " features but the model expects " +
+                       std::to_string(model.topology().n_inputs()));
+    }
+    const std::size_t n_vec =
+        std::min<std::size_t>(test.size(),
+                              static_cast<std::size_t>(g_rtl_vectors));
+    codes.assign(test.codes.begin(),
+                 test.codes.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         n_vec * static_cast<std::size_t>(n_inputs)));
+    return codes;
+  };
+
+  std::vector<core::RtlPointSpec> specs;
+  std::error_code ec;
+  if (std::filesystem::is_directory(input, ec)) {
+    for (const auto& e : core::load_front_any(input)) {
+      core::RtlPointSpec spec;
+      std::string name = e.file;
+      if (name.size() > 6 && name.rfind(".model") == name.size() - 6) {
+        name.resize(name.size() - 6);
+      }
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      spec.name = name;
+      spec.model = e.model;
+      spec.recorded = recorded_for(
+          dataset != "-" ? dataset : dataset_from_entry(e.file), spec.model);
+      specs.push_back(std::move(spec));
+    }
+  } else {
+    core::RtlPointSpec spec;
+    spec.model = core::load_model_file(input);
+    const std::string stem = std::filesystem::path(input).stem().string();
+    spec.name = stem.empty() ? "model" : stem;
+    spec.recorded =
+        recorded_for(dataset == "-" ? "" : dataset, spec.model);
+    specs.push_back(std::move(spec));
+  }
+
+  core::RtlExportOptions opts;
+  opts.max_recorded_vectors = g_rtl_vectors;
+  opts.random_vectors = g_rtl_random;
+  const auto report = with_sim ? core::verify_rtl(specs, outdir, opts)
+                               : core::export_rtl(specs, outdir, opts);
+
+  for (const auto& p : report.points) {
+    std::cout << p.name << ": " << p.gates << " cells (-" << p.gates_removed
+              << "), " << p.n_recorded << "+" << p.n_random
+              << " vectors, oracle==gate-sim==emitted";
+    if (with_sim) {
+      std::cout << ", sim " << core::rtl_sim_outcome_name(p.sim);
+      if (p.sim == core::RtlSimOutcome::kFail) {
+        std::cout << " (" << p.sim_errors << " errors)";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cerr << "wrote " << report.manifest_file << " ("
+            << report.points.size() << " points)\n";
+
+  if (with_sim) {
+    if (report.simulator.empty()) {
+      std::cerr << (g_require_sim
+                        ? "error: no Verilog simulator found "
+                          "(iverilog/verilator) and --require-sim is set\n"
+                        : "no Verilog simulator found (iverilog/verilator); "
+                          "simulation skipped\n");
+    }
+    if (!report.all_passed(g_require_sim)) {
+      for (const auto& p : report.points) {
+        if (p.sim == core::RtlSimOutcome::kFail ||
+            p.sim == core::RtlSimOutcome::kError) {
+          std::cerr << "--- " << p.name << " simulator log ---\n"
+                    << p.sim_log << "\n";
+        }
+      }
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -907,8 +1087,9 @@ int usage() {
                "[--seeds K] [--resume] [--port N] [--batch N] "
                "[--worker] [--worker-id ID] [--lease-timeout S] "
                "[--heartbeat S] [--max-failures N] [--ga-checkpoint K] "
+               "[--rtl-vectors N] [--rtl-random N] [--require-sim] "
                "<list|metrics|baseline|run|resume|train|campaign|serve|"
-               "classify|evaluate|export> [args...]\n"
+               "classify|evaluate|export|export-rtl|verify-rtl> [args...]\n"
                "(see the header of tools/pmlp_cli.cpp)\n";
   return 2;
 }
@@ -968,7 +1149,9 @@ int main(int argc, char** argv) {
         std::strcmp(argv[i], "--port") == 0 ||
         std::strcmp(argv[i], "--batch") == 0 ||
         std::strcmp(argv[i], "--max-failures") == 0 ||
-        std::strcmp(argv[i], "--ga-checkpoint") == 0) {
+        std::strcmp(argv[i], "--ga-checkpoint") == 0 ||
+        std::strcmp(argv[i], "--rtl-vectors") == 0 ||
+        std::strcmp(argv[i], "--rtl-random") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
         std::cerr << "error: " << flag << " requires a value\n";
@@ -1007,6 +1190,12 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(flag, "--ga-checkpoint") == 0) {
         g_ga_checkpoint = v;
         g_ga_checkpoint_set = true;
+      } else if (std::strcmp(flag, "--rtl-vectors") == 0) {
+        g_rtl_vectors = v;
+        g_rtl_vectors_set = true;
+      } else if (std::strcmp(flag, "--rtl-random") == 0) {
+        g_rtl_random = v;
+        g_rtl_random_set = true;
       } else {
         (std::strcmp(flag, "--threads") == 0 ? g_threads : g_cache) = v;
       }
@@ -1030,6 +1219,8 @@ int main(int argc, char** argv) {
       g_resume = true;
     } else if (std::strcmp(argv[i], "--worker") == 0) {
       g_worker = true;
+    } else if (std::strcmp(argv[i], "--require-sim") == 0) {
+      g_require_sim = true;
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 ||
                std::strcmp(argv[i], "--json") == 0 ||
                std::strcmp(argv[i], "--save-front") == 0 ||
@@ -1112,6 +1303,14 @@ int main(int argc, char** argv) {
     if (cmd == "export" && n >= 4) {
       require_dataset(args[2]);
       return cmd_export(args[1], args[2], args[3]);
+    }
+    if ((cmd == "export-rtl" || cmd == "verify-rtl") && n >= 2) {
+      const std::string dataset = n >= 3 ? args[2] : "-";
+      const std::string outdir =
+          n >= 4 ? args[3]
+                 : std::filesystem::path(args[1]).filename().string() +
+                       "_rtl";
+      return cmd_rtl(args[1], dataset, outdir, cmd == "verify-rtl");
     }
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
